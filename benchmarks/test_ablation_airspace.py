@@ -1,0 +1,73 @@
+"""Ablation — hierarchical airspace leaves vs naive aggregate subscription.
+
+The paper's motivating argument for representing every area as a leaf CD
+(§III-A): without the ``/0`` airspace leaves, a zone player who wants to
+see the plane flying over its region "would result in high overhead to
+subscribe to /1 since he would then receive updates from all the players
+belonging to the zone-layer of /1".  This ablation measures exactly that
+overhead by running the same workload under both subscription schemes.
+"""
+
+from repro.core.hierarchy import AIRSPACE
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.common import run_gcopss_backbone
+from repro.experiments.report import render_table
+from repro.experiments.table1_rp_count import make_peak_workload
+from repro.names import Name
+
+
+def naive_subscriptions(hierarchy):
+    """No airspace leaves: to see anything above, subscribe to the whole
+    ancestor aggregates."""
+
+    def subscriptions_for(area: Name):
+        subs = {area}
+        for ancestor in area.ancestors():
+            if ancestor.is_root:
+                # Whole-map visibility without a root CD: every top piece.
+                subs.update(hierarchy.children(ancestor))
+                subs.add(ancestor / AIRSPACE)
+            else:
+                subs.add(ancestor)
+        return subs
+
+    return subscriptions_for
+
+
+def test_airspace_leaves_vs_naive_aggregates(benchmark):
+    num_updates = 20_000 if full_scale() else 3_000
+    game_map, generator, events = make_peak_workload(num_updates)
+    hierarchy = game_map.hierarchy
+
+    def both():
+        airspace = run_gcopss_backbone(
+            events, game_map, generator.placement, num_rps=3, label="airspace leaves"
+        )
+        naive = run_gcopss_backbone(
+            events,
+            game_map,
+            generator.placement,
+            num_rps=3,
+            label="naive aggregates",
+            subscriptions_fn=naive_subscriptions(hierarchy),
+        )
+        return airspace, naive
+
+    airspace, naive = run_once(benchmark, both)
+
+    print()
+    print(
+        render_table(
+            "Airspace leaves vs naive aggregate subscriptions",
+            ("scheme", "deliveries", "network GB", "mean ms"),
+            [
+                (r.label, r.deliveries, round(r.network_gb, 4), round(r.latency.mean, 2))
+                for r in (airspace, naive)
+            ],
+        )
+    )
+
+    # The naive scheme floods players with everything under their region:
+    # substantially more deliveries and network load for the same trace.
+    assert naive.deliveries > 1.5 * airspace.deliveries
+    assert naive.network_bytes > 1.3 * airspace.network_bytes

@@ -1,0 +1,70 @@
+"""Ablation — new-RP selection: least-loaded vs Vivaldi coordinates.
+
+The paper leaves RP selection open ("may be performed by a network
+manager or calculated by a Network Coordinate function like [16]") and
+names better RP selection as ongoing work (§VI).  This ablation runs the
+auto-balancer with the default least-loaded pick against the
+Vivaldi-coordinate pick (new RP nearest the subscriber latency
+centroid), on the same overloaded workload.
+"""
+
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.common import run_gcopss_backbone
+from repro.experiments.report import render_table
+from repro.experiments.table1_rp_count import make_peak_workload
+
+
+def test_rp_selection_least_loaded_vs_coordinates(benchmark):
+    num_updates = 12_000 if full_scale() else 4_000
+    game_map, generator, events = make_peak_workload(num_updates)
+
+    def both():
+        least_loaded = run_gcopss_backbone(
+            events,
+            game_map,
+            generator.placement,
+            num_rps=1,
+            auto_balance=True,
+            label="least-loaded",
+        )
+        coords = run_gcopss_backbone(
+            events,
+            game_map,
+            generator.placement,
+            num_rps=1,
+            auto_balance=True,
+            use_coordinate_selection=True,
+            label="vivaldi coordinates",
+        )
+        return least_loaded, coords
+
+    least_loaded, coords = run_once(benchmark, both)
+
+    print()
+    print(
+        render_table(
+            "New-RP selection policy",
+            ("policy", "splits", "final RPs", "mean ms", "p95 ms", "network GB"),
+            [
+                (
+                    r.label,
+                    len(r.extras["splits"]),
+                    r.extras["final_rp_count"],
+                    round(r.latency.mean, 2),
+                    round(r.latency.percentile(95), 2),
+                    round(r.network_gb, 4),
+                )
+                for r in (least_loaded, coords)
+            ],
+        )
+    )
+
+    # Both policies must resolve the hot spot and deliver identically.
+    for run in (least_loaded, coords):
+        assert run.extras["splits"]
+        assert run.latency.mean < 1_000.0
+    assert least_loaded.deliveries == coords.deliveries
+
+    # The coordinate policy targets subscriber proximity: its post-split
+    # steady state should be at least competitive on latency (within 25%).
+    assert coords.latency.mean < 1.25 * least_loaded.latency.mean

@@ -1,0 +1,39 @@
+"""Fig. 3c / Fig. 3d — workload characterization.
+
+Regenerates the trace statistics panels: updates-per-player distribution
+(Fig. 3c) and players/objects per area (Fig. 3d).
+"""
+
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.fig3_workload import run_fig3
+from repro.experiments.report import render_table
+
+
+def test_fig3_workload_characterization(benchmark):
+    num_updates = 100_000 if full_scale() else 30_000
+    result = run_once(benchmark, run_fig3, num_updates=num_updates)
+
+    print()
+    print(render_table("Fig. 3 workload characterization", ("metric", "value"), result.rows()))
+    cdf = result.player_cdf
+    print("Fig. 3c updates-per-player quantiles:")
+    for frac in (0.1, 0.5, 0.9, 0.99, 1.0):
+        idx = min(len(cdf) - 1, int(frac * len(cdf)) - 1)
+        print(f"  {frac:5.0%} of players sent <= {cdf[idx][0]} updates")
+
+    stats = result.stats
+    # Paper envelopes: 414 players, 4-20 per area, 80-120 objects per area,
+    # mean inter-arrival 2.4 ms, sizes 50-350 B, long-tailed activity.
+    assert stats.num_players == 414
+    lo, hi = result.envelopes["players_per_area"]
+    assert 4 <= lo and hi <= 20
+    lo, hi = result.envelopes["objects_per_area"]
+    assert 80 <= lo and hi <= 120
+    benchmark.extra_info["mean_interarrival_ms"] = stats.mean_interarrival_ms
+    assert 2.2 <= stats.mean_interarrival_ms <= 2.6
+    assert stats.size_min >= 50 and stats.size_max <= 350
+    assert stats.skew_ratio() > 2  # Fig. 3c's long tail
+    # Fig. 3d companion fact (§V-B): top-layer objects are hottest.
+    top = stats.updates_per_layer[0]
+    bottom = stats.updates_per_layer[2]
+    assert top[0] > bottom[1]

@@ -1,0 +1,53 @@
+"""Fig. 4 — update-latency CDF: G-COPSS vs NDN vs IP server (§V-A).
+
+Paper reference points: G-COPSS mean 8.51 ms with every player below
+55 ms; IP server mean 25.52 ms with ~8% of deliveries above 55 ms; the
+NDN query/response design averages beyond 12 seconds.  The benchmark
+checks the ordering and separation factors, not testbed-absolute values.
+"""
+
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.fig4_microbench import run_fig4
+from repro.experiments.report import render_cdf, render_table
+
+
+def test_fig4_update_latency_cdf(benchmark):
+    scale = 1.0 if full_scale() else 0.25
+    result = run_once(benchmark, run_fig4, scale=scale)
+
+    print()
+    print(render_cdf("Fig. 4 update-latency CDF (ms)", result.cdf_curves()))
+    rows = [
+        (r.label, r.latency.count, round(r.latency.mean, 2), round(r.latency.maximum, 2))
+        for r in (result.gcopss, result.ip_server, result.ndn)
+        if r.latency.count
+    ]
+    print(render_table("Fig. 4 summary", ("system", "deliveries", "mean ms", "max ms"), rows))
+
+    gcopss = result.gcopss.latency
+    ip = result.ip_server.latency
+    ndn = result.ndn.latency
+
+    # Identical delivery sets for the two push architectures.
+    assert result.gcopss.deliveries == result.ip_server.deliveries
+
+    # Paper shape 1: G-COPSS mean in the single-digit-ms regime and well
+    # below the IP server's.
+    assert gcopss.mean < 20.0
+    assert ip.mean > 2.0 * gcopss.mean
+
+    # Paper shape 2: all G-COPSS deliveries below 55 ms; a visible tail of
+    # IP-server deliveries above it.
+    assert gcopss.maximum < 55.0
+    assert ip.fraction_below(55.0) < 1.0
+
+    # Paper shape 3: the NDN query/response design is orders of magnitude
+    # worse (paper: >12 s average vs 8.51 ms).
+    assert ndn.count > 0
+    assert ndn.mean > 20.0 * gcopss.mean
+
+    benchmark.extra_info.update(
+        gcopss_mean_ms=round(gcopss.mean, 2),
+        ip_mean_ms=round(ip.mean, 2),
+        ndn_mean_ms=round(ndn.mean, 2),
+    )

@@ -1,0 +1,59 @@
+"""Fig. 5a/5b/5c — per-update latency series and traffic concentration.
+
+Fig. 5a: with 3 RPs the latency envelope stays flat over the whole run.
+Fig. 5b: with 2 RPs the hot RP's queue starts growing and latency ramps
+up in the later part of the trace (the paper sees it after ~70% of its
+100k-packet run).  Fig. 5c: starting from 1 RP with automatic balancing,
+the CDs are split when queueing is detected and latency recovers.
+"""
+
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.report import render_series
+from repro.experiments.table1_rp_count import make_peak_workload, run_table1
+
+
+def _tail_vs_head(envelope):
+    """Mean latency of the last quarter vs the first quarter of the run."""
+    quarter = max(1, len(envelope) // 4)
+    head = sum(row[2] for row in envelope[:quarter]) / quarter
+    tail = sum(row[2] for row in envelope[-quarter:]) / quarter
+    return head, tail
+
+
+def test_fig5_latency_series(benchmark):
+    num_updates = 100_000 if full_scale() else 6_000
+    # Same parameter set as test_table1_rps -> the memoized runs are
+    # shared; whichever benchmark runs first pays the simulation cost.
+    result = run_once(benchmark, run_table1, num_updates=num_updates)
+
+    print()
+    for key, title in (("3", "Fig. 5a (3 RPs)"), ("2", "Fig. 5b (2 RPs)"), ("auto", "Fig. 5c (auto)")):
+        print(render_series(title, result.gcopss[key].series.envelope(), max_rows=12))
+        print()
+
+    head3, tail3 = _tail_vs_head(result.gcopss["3"].series.envelope())
+    head2, tail2 = _tail_vs_head(result.gcopss["2"].series.envelope())
+    auto_env = result.gcopss["auto"].series.envelope()
+
+    # Fig. 5a: flat — the tail of the run is within 2x of its start.
+    assert tail3 < 2.0 * head3
+
+    # Fig. 5b: congestion builds — the tail is visibly above the start
+    # and above the 3-RP tail.
+    assert tail2 > 1.5 * head2
+    assert tail2 > 2.0 * tail3
+
+    # Fig. 5c: auto-balancing recovers — after the splits the envelope
+    # returns to the healthy regime rather than growing unboundedly like
+    # the manual 1-RP case.
+    assert result.gcopss["auto"].extras["splits"]
+    one_rp_tail = _tail_vs_head(result.gcopss["1"].series.envelope())[1]
+    auto_tail = _tail_vs_head(auto_env)[1]
+    assert auto_tail < one_rp_tail / 5
+
+    benchmark.extra_info.update(
+        tail_3rp_ms=round(tail3, 2),
+        tail_2rp_ms=round(tail2, 2),
+        tail_auto_ms=round(auto_tail, 2),
+        tail_1rp_ms=round(one_rp_tail, 2),
+    )

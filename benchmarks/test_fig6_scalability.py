@@ -1,0 +1,78 @@
+"""Fig. 6a/6b — latency and network load vs the number of players.
+
+With 3 RPs / 3 servers fixed and the aggregate update rate held at the
+trace's measured rate, G-COPSS response latency stays flat as players
+grow while the IP servers hit a wall once their per-update (fan-out
+dependent) service time exceeds capacity; network load grows for both
+but far more steeply for unicast fan-out.
+"""
+
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.fig6_scalability import run_fig6
+from repro.experiments.report import render_table
+
+
+def test_fig6_scalability(benchmark):
+    if full_scale():
+        sweep = (62, 124, 414, 828, 1600, 2400, 3200)
+        updates = 8_000
+    else:
+        sweep = (62, 414, 1200, 2400)
+        updates = 2_500
+    result = run_once(
+        benchmark, run_fig6, player_counts=sweep, updates_per_point=updates
+    )
+
+    print()
+    rows = [
+        (n, round(g, 2), round(s, 2))
+        for n, g, s in result.latency_series()
+    ]
+    print(
+        render_table(
+            "Fig. 6a response latency (ms) vs players",
+            ("players", "G-COPSS", "IP server"),
+            rows,
+        )
+    )
+    rows = [
+        (n, round(g, 4), round(s, 4)) for n, g, s in result.load_series()
+    ]
+    print(
+        render_table(
+            "Fig. 6b network load (GB) vs players",
+            ("players", "G-COPSS", "IP server"),
+            rows,
+        )
+    )
+
+    latency = {n: (g, s) for n, g, s in result.latency_series()}
+    smallest, largest = sweep[0], sweep[-1]
+
+    # Fig. 6a: G-COPSS stays flat (well under 4x across the whole sweep,
+    # and always in the healthy regime).
+    gcopss_values = [latency[n][0] for n in sweep]
+    assert max(gcopss_values) < 4 * min(gcopss_values)
+    assert max(gcopss_values) < 300.0
+
+    # Fig. 6a: the server curve hockey-sticks — by the top of the sweep it
+    # is an order of magnitude above G-COPSS and far above its own
+    # small-population latency.
+    assert latency[largest][1] > 10 * latency[largest][0]
+    assert latency[largest][1] > 5 * latency[smallest][1]
+
+    # Crossover exists: at the smallest population the server is still in
+    # a sane regime (within ~10x of G-COPSS).
+    assert latency[smallest][1] < 20 * latency[smallest][0]
+
+    # Fig. 6b: load grows with players for both, server faster.
+    load = {n: (g, s) for n, g, s in result.load_series()}
+    assert load[largest][0] > load[smallest][0]
+    assert load[largest][1] > load[smallest][1]
+    assert load[largest][1] > 2 * load[largest][0]
+
+    benchmark.extra_info.update(
+        sweep=list(sweep),
+        gcopss_ms=[round(latency[n][0], 1) for n in sweep],
+        server_ms=[round(latency[n][1], 1) for n in sweep],
+    )

@@ -1,0 +1,68 @@
+"""Table I — update latency & network load vs #RPs / #servers (414 players).
+
+Paper shapes: 1 RP is hopelessly congested (tens of seconds of queueing
+over the run), 2 RPs marginal, 3 RPs healthy (latency well below 1/5 s),
+the automatic balancer lands close to the manual 3-RP figure, and the IP
+server deployment is far worse at equal resource count while carrying
+about twice the network load (multicast vs unicast fan-out).
+"""
+
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.report import render_table
+from repro.experiments.table1_rp_count import run_table1
+
+
+def test_table1_rp_and_server_counts(benchmark):
+    num_updates = 100_000 if full_scale() else 6_000
+    result = run_once(benchmark, run_table1, num_updates=num_updates)
+
+    print()
+    print(
+        render_table(
+            f"Table I ({num_updates} updates, 414 players)",
+            ("type", "# RPs/servers", "update latency (ms)", "network load (GB)"),
+            result.rows(),
+        )
+    )
+
+    g1 = result.gcopss["1"].latency
+    g2 = result.gcopss["2"].latency
+    g3 = result.gcopss["3"].latency
+    auto = result.gcopss["auto"]
+
+    # Congestion ordering: 1 RP >> 2 RPs >= 3 RPs.
+    assert g1.mean > 10 * g3.mean
+    assert g2.mean >= g3.mean
+
+    # 3 RPs: healthy, "well below 1/5 second" mean.
+    assert g3.mean < 200.0
+
+    # Auto balancing splits at least once starting from 1 RP and ends in
+    # the healthy regime, within ~3x of the manual 3-RP mean.
+    assert auto.extras["splits"]
+    assert auto.extras["final_rp_count"] >= 2
+    assert auto.latency.mean < 3 * max(g3.mean, g2.mean)
+    assert auto.latency.mean < g1.mean / 5
+
+    # IP server: worse latency than G-COPSS at equal resources, improving
+    # with server count but congested throughout the peak (the paper:
+    # "much worse, very significant, unacceptable update latency").
+    ip1 = result.ip_server["1"].latency
+    ip2 = result.ip_server["2"].latency
+    ip3 = result.ip_server["3"].latency
+    assert ip1.mean > ip2.mean > ip3.mean
+    assert ip3.mean > 10 * g3.mean
+
+    # Network load: multicast carries a small fraction of unicast fan-out
+    # (paper reports roughly half; tree sharing on this backbone gives
+    # more than that).
+    assert result.gcopss["3"].network_gb < 0.75 * result.ip_server["3"].network_gb
+
+    # Same delivery semantics across architectures.
+    assert result.gcopss["3"].deliveries == result.ip_server["3"].deliveries
+
+    benchmark.extra_info.update(
+        gcopss_3rp_mean_ms=round(g3.mean, 2),
+        ip_3srv_mean_ms=round(ip3.mean, 2),
+        auto_splits=len(auto.extras["splits"]),
+    )

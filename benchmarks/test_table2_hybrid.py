@@ -1,0 +1,81 @@
+"""Table II — full-trace comparison: IP server / G-COPSS / hybrid.
+
+Paper shape: G-COPSS (6 RPs) carries the least network load; hybrid
+G-COPSS (6 IP multicast groups) achieves the best update latency but
+pays extra load for group sharing (filtered deliveries); the IP server
+(6 servers) is worst on both axes.  Includes a group-count sweep showing
+the deployability/load trade-off.
+"""
+
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.report import render_table
+from repro.experiments.table2_hybrid import run_table2
+
+
+def test_table2_full_trace(benchmark):
+    sample = 0.2 if full_scale() else 0.01
+    result = run_once(benchmark, run_table2, sample=sample)
+
+    print()
+    print(
+        render_table(
+            f"Table II (full-trace equivalents, sample={sample})",
+            ("type", "update latency (ms)", "network load (GB)"),
+            result.rows(),
+        )
+    )
+
+    # Latency ordering: hybrid < G-COPSS < IP server.
+    assert result.hybrid.mean_latency_ms < result.gcopss.mean_latency_ms
+    assert result.gcopss.mean_latency_ms < result.ip_server.mean_latency_ms
+
+    # Load ordering: G-COPSS < hybrid < IP server.
+    assert result.gcopss.network_gb < result.hybrid.network_gb
+    assert result.hybrid.network_gb < result.ip_server.network_gb
+
+    # The paper's headline factor: G-COPSS load is well under half the
+    # server's.
+    assert result.gcopss.network_gb < 0.5 * result.ip_server.network_gb
+
+    # Same delivery semantics across the three designs.
+    assert result.gcopss.deliveries == result.ip_server.deliveries
+    assert result.hybrid.deliveries == result.gcopss.deliveries
+
+    benchmark.extra_info.update(
+        gcopss_gb=round(result.gcopss.network_gb, 1),
+        hybrid_gb=round(result.hybrid.network_gb, 1),
+        server_gb=round(result.ip_server.network_gb, 1),
+    )
+
+
+def test_table2_group_count_sweep(benchmark):
+    """Hybrid ablation: fewer IP multicast groups -> more filtered load."""
+    sample = 0.02 if full_scale() else 0.004
+
+    def sweep():
+        results = {}
+        for groups in (1, 3, 6, 24):
+            results[groups] = run_table2(sample=sample, num_groups=groups)
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        (
+            groups,
+            round(r.hybrid.network_gb, 2),
+            round(r.hybrid.extras["waste_ratio"], 3),
+        )
+        for groups, r in sorted(results.items())
+    ]
+    print()
+    print(
+        render_table(
+            "Hybrid group-count sweep",
+            ("IP groups", "hybrid load (GB)", "filtered-delivery ratio"),
+            rows,
+        )
+    )
+    loads = [r.hybrid.network_gb for _, r in sorted(results.items())]
+    # More groups -> monotonically less (or equal) wasted load.
+    assert loads[0] >= loads[-1]
+    assert results[1].hybrid.extras["waste_ratio"] >= results[24].hybrid.extras["waste_ratio"]

@@ -1,0 +1,88 @@
+"""Table III — snapshot convergence time per movement type.
+
+Three retrieval modes for the snapshot a moving player needs: query/
+response with pipeline window 5 or 15, and cyclic multicast (3 brokers).
+Paper shapes: widening the QR window from 5 to 15 speeds up every row;
+convergence grows (sub)linearly with the number of leaf CDs downloaded;
+"to lower layer" moves need nothing; cyclic multicast converges within
+~4 s even for a region->world move and its aggregate snapshot traffic is
+below QR's (paper: ~14 GB vs ~26 GB for the same object count).
+"""
+
+from repro.core.hierarchy import MoveType
+from repro.experiments.benchutil import full_scale, run_once
+from repro.experiments.report import render_table
+from repro.experiments.table3_movement import run_table3_all
+
+
+def test_table3_snapshot_convergence(benchmark):
+    if full_scale():
+        players, moves = 124, 400
+    else:
+        players, moves = 62, 80
+    result = run_once(benchmark, run_table3_all, num_players=players, num_moves=moves)
+
+    print()
+    labels = list(result.modes)
+    print(
+        render_table(
+            f"Table III convergence ms, 95% CI ({moves} scheduled moves)",
+            ("move type", "count", "leaf CDs", *labels),
+            result.rows(),
+        )
+    )
+    totals = [
+        (
+            mode.label,
+            mode.moves_completed,
+            mode.objects_transferred,
+            round(mode.network_gb, 4),
+        )
+        for mode in result.modes.values()
+    ]
+    print(
+        render_table(
+            "Aggregate snapshot traffic",
+            ("mode", "moves", "objects", "network GB"),
+            totals,
+        )
+    )
+
+    qr5 = result.modes["QR w=5"]
+    qr15 = result.modes["QR w=15"]
+    cyclic = result.modes["Cyclic"]
+
+    # Pipelining helps: w=15 beats w=5 overall (paper: 2,060 vs 2,965 ms).
+    assert qr15.overall_mean_ms() < qr5.overall_mean_ms()
+
+    # Landing moves need no download in every mode.
+    for mode in (qr5, qr15, cyclic):
+        rec = mode.convergence.get(MoveType.TO_LOWER_LAYER)
+        if rec and rec.count:
+            assert rec.maximum == 0.0
+
+    # Convergence grows with CD count: region->world (24 CDs) is the
+    # slowest row wherever it occurred.
+    for mode in (qr5, qr15, cyclic):
+        world = mode.mean_ms(MoveType.REGION_TO_WORLD)
+        zone = mode.mean_ms(MoveType.ZONE_SAME_REGION) or mode.mean_ms(
+            MoveType.ZONE_DIFF_REGION
+        )
+        if world is not None and zone is not None:
+            assert world > zone
+
+    # Cyclic multicast: the paper's headline — even a move to the top
+    # layer converges within ~4 seconds.
+    world_cyclic = cyclic.mean_ms(MoveType.REGION_TO_WORLD)
+    if world_cyclic is not None:
+        assert world_cyclic < 6_000.0
+
+    # Aggregate snapshot traffic: QR costs more than cyclic multicast for
+    # the same object population (paper: 26 GB vs 14 GB).
+    assert cyclic.network_bytes < qr5.network_bytes
+
+    benchmark.extra_info.update(
+        qr5_overall_ms=round(qr5.overall_mean_ms(), 1),
+        qr15_overall_ms=round(qr15.overall_mean_ms(), 1),
+        cyclic_overall_ms=round(cyclic.overall_mean_ms(), 1),
+    )

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hybrid G-COPSS: incremental deployment over an IP multicast core.
+
+Compares the three full-trace architectures of the paper's Table II —
+IP client/server, native G-COPSS, and hybrid G-COPSS (COPSS edges over a
+limited set of IP multicast groups) — and sweeps the group count to show
+the deployability trade-off: fewer groups means more CDs share a group,
+so more packets reach edges that must filter them out.
+
+Run:  python examples/hybrid_deployment.py [--sample 0.005] [--groups 6]
+"""
+
+import argparse
+
+from repro.experiments.report import render_table
+from repro.experiments.table2_hybrid import run_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sample", type=float, default=0.005,
+                        help="fraction of the 1.69M-event full trace to replay")
+    parser.add_argument("--groups", type=int, default=6,
+                        help="IP multicast groups for the hybrid (paper: 6)")
+    args = parser.parse_args()
+
+    print(f"Replaying {args.sample:.1%} of the full Counter-Strike trace "
+          f"(load columns scaled to full-trace equivalents)...\n")
+    result = run_table2(sample=args.sample, num_groups=args.groups)
+    print(
+        render_table(
+            f"Table II: 6 servers vs 6 RPs vs {args.groups} IP groups",
+            ("architecture", "mean update latency (ms)", "network load (GB)"),
+            result.rows(),
+        )
+    )
+    print(
+        "\nhybrid filtered-delivery ratio:"
+        f" {result.hybrid.extras['waste_ratio']:.1%}"
+        " (packets carried to edges that dropped them)"
+    )
+
+    print("\nGroup-count sweep (deployability vs waste):")
+    rows = []
+    for groups in (1, 2, 6, 24):
+        sweep = run_table2(sample=args.sample / 2, num_groups=groups)
+        rows.append(
+            (
+                groups,
+                round(sweep.hybrid.mean_latency_ms, 2),
+                round(sweep.hybrid.network_gb, 1),
+                f"{sweep.hybrid.extras['waste_ratio']:.1%}",
+            )
+        )
+    print(
+        render_table(
+            "hybrid G-COPSS vs available IP multicast address space",
+            ("groups", "latency ms", "load GB", "filtered ratio"),
+            rows,
+        )
+    )
+    print(
+        "\nReading: latency is flat (no RP detour either way); the price of a"
+        "\nsmall multicast address space is wasted transmissions, which shrink"
+        "\nas more groups become available — but even 1 group beats the"
+        "\nserver's unicast fan-out on load."
+    )
+
+
+if __name__ == "__main__":
+    main()

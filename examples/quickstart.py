@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: a tiny G-COPSS game in ~60 lines.
+
+Builds a three-router network with one rendezvous point, places three
+players on a 2-region x 2-zone hierarchical map (soldier, pilot and
+satellite operator — the paper's Fig. 1 cast), and shows who sees whose
+updates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    GCopssHost,
+    GCopssNetworkBuilder,
+    GCopssRouter,
+    MapHierarchy,
+    RpTable,
+)
+from repro.sim import Network
+
+
+def main() -> None:
+    # -- Map: a world of 2 regions x 2 zones (paper Fig. 1 uses the same
+    #    shape).  Leaf CDs: /1/1../2/2 plus airspaces /1/0, /2/0 and /0.
+    world = MapHierarchy([2, 2])
+    print("Map:", world.describe())
+
+    # -- Network: alice -- R1 -- R2(RP) -- R3 -- bob, carol.
+    net = Network()
+    r1, r2, r3 = (GCopssRouter(net, name) for name in ("R1", "R2", "R3"))
+    net.connect(r1, r2, 2.0)
+    net.connect(r2, r3, 2.0)
+
+    soldier = GCopssHost(net, "soldier")     # stands in zone /1/2
+    pilot = GCopssHost(net, "pilot")         # flies over region /1
+    satellite = GCopssHost(net, "satellite")  # top layer
+    net.connect(soldier, r1, 1.0)
+    net.connect(pilot, r3, 1.0)
+    net.connect(satellite, r3, 1.0)
+
+    # -- One RP (R2) serves the whole map.
+    table = RpTable()
+    table.assign("/", "R2")
+    GCopssNetworkBuilder(net, table).install()
+
+    # -- Hierarchical subscriptions (paper §III-A semantics).
+    for host, area in ((soldier, "/1/2"), (pilot, "/1"), (satellite, "/")):
+        subs = sorted(map(str, world.subscriptions_for(area)))
+        print(f"{host.name:9s} at {area:4s} subscribes to {subs}")
+        host.subscribe(world.subscriptions_for(area))
+        host.on_update.append(
+            lambda h, p: print(
+                f"  t={h.sim.now:6.2f} ms  {h.name:9s} sees update on {p.cd}"
+                f" from {p.publisher} ({p.payload_size} B)"
+            )
+        )
+    net.sim.run()  # let the subscriptions converge
+
+    # -- Publish from each layer and watch visibility rules play out.
+    print("\nsoldier fires in zone /1/2 (the pilot above and the satellite see it):")
+    soldier.publish(world.publish_cd("/1/2"), payload_size=120)
+    net.sim.run()
+
+    print("\npilot banks over region /1 (invisible to the soldier in /1/2? "
+          "no - soldiers see the sky: /1/0):")
+    pilot.publish(world.publish_cd("/1"), payload_size=80)
+    net.sim.run()
+
+    print("\nsatellite adjusts orbit (/0, visible to everyone):")
+    satellite.publish(world.publish_cd("/"), payload_size=200)
+    net.sim.run()
+
+    print("\nsoldier acts in the OTHER region's zone /2/1 after teleporting:")
+    soldier.set_subscriptions(world.subscriptions_for("/2/1"))
+    net.sim.run()
+    soldier.publish(world.publish_cd("/2/1"), payload_size=120)
+    net.sim.run()
+    print("(only the satellite saw it - the pilot watches region /1;\n publishers never hear their own updates echoed back)")
+
+    print(f"\nTotal network load: {net.total_bytes} bytes over {len(net.links)} links")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""G-COPSS: a content-centric communication infrastructure for gaming.
+
+A complete Python reproduction of Chen, Arumaithurai, Fu and
+Ramakrishnan, *G-COPSS: A Content Centric Communication Infrastructure
+for Gaming Applications* (ICDCS 2012): the G-COPSS pub/sub core over an
+NDN substrate, the game/workload models, both comparison baselines, the
+topologies, and an experiment harness regenerating every table and
+figure of the paper's evaluation.
+
+Top-level convenience re-exports cover the common entry points; the
+sub-packages hold the full API:
+
+* :mod:`repro.core` -- COPSS / G-COPSS (the paper's contribution)
+* :mod:`repro.ndn` -- Interest/Data forwarding substrate
+* :mod:`repro.game` -- maps, players, movement, objects
+* :mod:`repro.trace` -- workload generation and trace tooling
+* :mod:`repro.topology` -- evaluation topologies
+* :mod:`repro.baselines` -- IP client/server and NDN query/response games
+* :mod:`repro.sim` -- discrete-event simulation fabric
+* :mod:`repro.experiments` -- per-table/figure experiment runners
+"""
+
+from repro.core import (
+    GCopssHost,
+    GCopssNetworkBuilder,
+    GCopssRouter,
+    MapHierarchy,
+    RpLoadBalancer,
+    RpTable,
+    SnapshotBroker,
+)
+from repro.game import GameMap, MovementModel, Player
+from repro.names import Name, ROOT
+from repro.sim import Network, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Name",
+    "ROOT",
+    "Network",
+    "Simulator",
+    "MapHierarchy",
+    "RpTable",
+    "GCopssRouter",
+    "GCopssHost",
+    "GCopssNetworkBuilder",
+    "RpLoadBalancer",
+    "SnapshotBroker",
+    "GameMap",
+    "Player",
+    "MovementModel",
+    "__version__",
+]

@@ -1,0 +1,158 @@
+"""Capacity planning: how many RPs (or servers) does a workload need?
+
+The paper's §IV-B: "Since the RPs are responsible for handling a certain
+number of CDs, it is difficult to predict the number of RPs required or
+to perform predetermined load balancing" — and solves it reactively with
+runtime splits.  Given a trace (or its statistics), these helpers do the
+*predictive* half: compute per-CD load shares, evaluate an assignment's
+per-RP utilizations, find the minimum stable RP count, and locate the IP
+server's population ceiling (the Fig. 6 crossover).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.queueing import md1_mean_sojourn, utilization
+from repro.core.hierarchy import MapHierarchy
+from repro.core.rp import RpTable
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.common import default_rp_assignment
+from repro.names import Name
+from repro.trace.model import UpdateEvent
+
+__all__ = [
+    "cd_load_shares",
+    "peak_arrival_rate",
+    "rp_utilizations",
+    "minimum_stable_rps",
+    "server_population_ceiling",
+]
+
+
+def cd_load_shares(
+    events: Sequence[UpdateEvent], depth: int = 1
+) -> Dict[Name, float]:
+    """Fraction of publications per CD prefix at the given depth.
+
+    Depth 1 groups by top-level piece (each region subtree; the world
+    airspace leaf stands alone), which is the granularity initial RP
+    assignments use.
+    """
+    if not events:
+        raise ValueError("cannot analyze an empty trace")
+    counts: Dict[Name, int] = {}
+    for event in events:
+        prefix = event.cd.slice(min(depth, event.cd.depth))
+        counts[prefix] = counts.get(prefix, 0) + 1
+    total = len(events)
+    return {prefix: count / total for prefix, count in sorted(counts.items())}
+
+
+def peak_arrival_rate(
+    events: Sequence[UpdateEvent], window_fraction: float = 0.2
+) -> float:
+    """Aggregate packets/ms over the trace's final (peak) window.
+
+    Provisioning must hold at the *peak* rate, not the mean — the
+    capture's intensity ramps up (§V-B peak period).
+    """
+    if not 0 < window_fraction <= 1:
+        raise ValueError("window_fraction must be in (0, 1]")
+    if len(events) < 2:
+        raise ValueError("need at least two events")
+    tail = events[-max(2, int(len(events) * window_fraction)) :]
+    span = tail[-1].time_ms - tail[0].time_ms
+    if span <= 0:
+        raise ValueError("degenerate trace timing")
+    return (len(tail) - 1) / span
+
+
+def rp_utilizations(
+    events: Sequence[UpdateEvent],
+    assignment: RpTable,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> Dict[str, float]:
+    """Peak utilization of every RP under the given prefix assignment.
+
+    rho >= 1 means that RP's queue grows without bound during the peak —
+    the Table I / Fig. 5b congestion condition.
+    """
+    rate = peak_arrival_rate(events)
+    shares: Dict[str, float] = {}
+    for event in events:
+        rp = assignment.rp_for(event.cd)
+        shares[rp] = shares.get(rp, 0) + 1
+    total = len(events)
+    return {
+        rp: utilization(rate * count / total, calibration.rp_service_ms)
+        for rp, count in sorted(shares.items())
+    }
+
+
+def minimum_stable_rps(
+    events: Sequence[UpdateEvent],
+    hierarchy: MapHierarchy,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    headroom: float = 0.85,
+    max_rps: int = 16,
+) -> Optional[Dict[str, object]]:
+    """Smallest RP count whose default assignment stays under ``headroom``.
+
+    Uses the same load-blind contiguous assignment the experiments use,
+    so the answer matches what the benchmarks observe (e.g. the paper's
+    414-player peak workload needs 3 RPs).  Returns None when even
+    ``max_rps`` cannot satisfy the bound (one CD hotter than a whole RP —
+    the case only runtime splitting below the top layer can solve).
+    """
+    if not 0 < headroom <= 1:
+        raise ValueError("headroom must be in (0, 1]")
+    for count in range(1, max_rps + 1):
+        names = [f"rp{i}" for i in range(count)]
+        assignment = default_rp_assignment(hierarchy, names)
+        rhos = rp_utilizations(events, assignment, calibration)
+        worst = max(rhos.values())
+        if worst < headroom:
+            # The worst RP's arrival rate follows from its utilization:
+            # lambda = rho / s.
+            worst_arrival = worst / calibration.rp_service_ms
+            return {
+                "rp_count": count,
+                "worst_utilization": worst,
+                "predicted_worst_sojourn_ms": md1_mean_sojourn(
+                    worst_arrival, calibration.rp_service_ms
+                ),
+                "utilizations": rhos,
+            }
+    return None
+
+
+def server_population_ceiling(
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    num_servers: int = 3,
+    aggregate_interarrival_ms: float = 2.4,
+    subscribed_fraction: float = 0.4,
+    hot_share: float = 0.45,
+) -> int:
+    """Largest player count the IP servers can sustain (Fig. 6a's wall).
+
+    Server service grows with the recipient set: s(n) = base +
+    per_recipient * subscribed_fraction * n.  The hottest server carries
+    ``hot_share`` of the update stream (the satellite-heavy chunk), so
+    stability requires hot_share * lambda * s(n) < 1.
+    """
+    if not 0 < subscribed_fraction <= 1 or not 0 < hot_share <= 1:
+        raise ValueError("fractions must be in (0, 1]")
+    rate = hot_share / aggregate_interarrival_ms  # packets/ms at the hot server
+    ceiling = 0
+    n = 1
+    while n < 10_000_000:
+        service = (
+            calibration.server_base_ms
+            + calibration.server_per_recipient_ms * subscribed_fraction * n
+        )
+        if utilization(rate, service) >= 1.0:
+            break
+        ceiling = n
+        n = max(n + 1, int(n * 1.1))
+    return ceiling

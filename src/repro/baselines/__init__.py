@@ -1,0 +1,22 @@
+"""The paper's two comparison architectures, built from scratch.
+
+* :mod:`repro.baselines.ip_server` — the traditional client/server game:
+  every update goes to a game server which unicasts it to each player
+  that should see it.  All machines run an application-level forwarding
+  engine keyed on destination addresses (paper §V-A).
+* :mod:`repro.baselines.ndn_game` — the VoCCN-style NDN game: every
+  player pipelines Interests (window N=3) at every potential publisher in
+  its AoI, with producer-side update accumulation every *t* ms (paper's
+  two optimizations).
+"""
+
+from repro.baselines.ip_server import DatagramPacket, GameServerNode, IpClientNode, IpRouter
+from repro.baselines.ndn_game import NdnGamePlayer
+
+__all__ = [
+    "DatagramPacket",
+    "IpRouter",
+    "GameServerNode",
+    "IpClientNode",
+    "NdnGamePlayer",
+]

@@ -1,0 +1,241 @@
+"""IP client/server gaming baseline (paper §V-A "a server-based solution").
+
+Players send every update to a game server as a unicast datagram; the
+server decides who must see it (visibility over the shared hierarchical
+map) and unicasts a copy to each such player.  "All the machines use an
+application-level forwarding engine ... forwarding packets based on the
+destination address."
+
+The server is the bottleneck the paper measures: its per-update service
+time covers game bookkeeping (location translation, collision detection)
+plus a per-recipient send cost, so service time grows with the player
+population — the cause of the Fig. 6a hockey stick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.names import Name
+from repro.packets import Packet
+from repro.sim.network import Face, Network, Node
+from repro.sim.queues import ServiceQueue
+
+__all__ = [
+    "DatagramPacket",
+    "IpRouter",
+    "GameServerNode",
+    "IpClientNode",
+    "UDP_HEADER_BYTES",
+    "DEFAULT_IP_SERVICE_MS",
+    "DEFAULT_SERVER_BASE_MS",
+    "DEFAULT_SERVER_PER_RECIPIENT_MS",
+]
+
+#: IP + UDP header overhead per datagram.
+UDP_HEADER_BYTES = 28
+
+#: Per-packet forwarding time of a plain IP router.  The paper notes "IP
+#: routers are much more efficient than the G-COPSS routers".
+DEFAULT_IP_SERVICE_MS = 0.02
+
+#: Fixed per-update server work (location translation, collision
+#: detection, deciding the recipient set).
+DEFAULT_SERVER_BASE_MS = 2.0
+
+#: Additional server work per unicast recipient.  With the 414-player
+#: trace (~25 recipients per update on average) total service lands near
+#: the paper's ~6 ms server processing time.
+DEFAULT_SERVER_PER_RECIPIENT_MS = 0.16
+
+
+@dataclass
+class DatagramPacket(Packet):
+    """A unicast datagram: src/dst addresses plus a game payload.
+
+    ``cd`` and ``object_id`` ride along as application payload so the
+    server can compute visibility; they do not affect forwarding.
+    """
+
+    src: str = ""
+    dst: str = ""
+    payload_size: int = 0
+    cd: Name = field(default_factory=Name)
+    object_id: int = -1
+    sequence: int = -1
+
+    def __post_init__(self) -> None:
+        self.cd = Name.coerce(self.cd)
+        if not self.dst:
+            raise ValueError("datagram needs a destination")
+        if self.size == 0:
+            self.size = UDP_HEADER_BYTES + self.payload_size
+        super().__post_init__()
+
+
+class IpRouter(Node):
+    """Destination-address forwarding with a FIFO processing queue."""
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        service_time: float = DEFAULT_IP_SERVICE_MS,
+    ) -> None:
+        super().__init__(network, name)
+        self.service_time = service_time
+        self.queue = ServiceQueue(self.sim, name=f"{name}.proc")
+        self.dropped_no_route = 0
+        # dst -> outgoing face; the forwarding table a real IP router has.
+        self._routes: Dict[str, Optional[Face]] = {}
+
+    def receive(self, packet: Packet, face: Face) -> None:
+        self.packets_received += 1
+        self.queue.submit(packet, self.service_time, self._forward)
+
+    def _forward(self, packet: Packet) -> None:
+        if not isinstance(packet, DatagramPacket):
+            raise TypeError(f"{self.name}: IP router got {type(packet).__name__}")
+        if packet.dst == self.name:
+            return  # routers are never datagram endpoints; swallow quietly
+        out = self._route_to(packet.dst)
+        if out is None:
+            self.dropped_no_route += 1
+            return
+        self.send(out, packet)
+
+    def _route_to(self, dst: str) -> Optional[Face]:
+        if dst not in self._routes:
+            try:
+                next_hop = self.network.next_hop(self.name, dst)
+                self._routes[dst] = self.face_toward(next_hop)
+            except Exception:
+                self._routes[dst] = None
+        return self._routes[dst]
+
+
+class GameServerNode(Node):
+    """A game server: receives updates, unicasts them to the viewers.
+
+    ``subscribers_of`` maps a CD to the player names that must receive
+    updates published under it; the experiment harness keeps it in sync
+    with player positions (in a real deployment this is the server's
+    player-management state).  Per-update service time is
+    ``base + per_recipient * len(recipients)``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        base_service_ms: float = DEFAULT_SERVER_BASE_MS,
+        per_recipient_ms: float = DEFAULT_SERVER_PER_RECIPIENT_MS,
+    ) -> None:
+        super().__init__(network, name)
+        self.base_service_ms = base_service_ms
+        self.per_recipient_ms = per_recipient_ms
+        self.queue = ServiceQueue(self.sim, name=f"{name}.proc")
+        self._subscribers: Dict[Name, Set[str]] = {}
+        self.updates_handled = 0
+        self.fanout_sent = 0
+
+    # ------------------------------------------------------------------
+    # Visibility management
+    # ------------------------------------------------------------------
+    def set_subscribers(self, cd: "Name | str", players: Iterable[str]) -> None:
+        self._subscribers[Name.coerce(cd)] = set(players)
+
+    def add_subscriber(self, cd: "Name | str", player: str) -> None:
+        self._subscribers.setdefault(Name.coerce(cd), set()).add(player)
+
+    def remove_subscriber(self, cd: "Name | str", player: str) -> None:
+        self._subscribers.get(Name.coerce(cd), set()).discard(player)
+
+    def recipients_for(self, cd: Name, exclude: str) -> List[str]:
+        names = self._subscribers.get(cd, set())
+        return sorted(n for n in names if n != exclude)
+
+    # ------------------------------------------------------------------
+    # Update pipeline
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, face: Face) -> None:
+        """Queue an incoming update; service time scales with fan-out."""
+        self.packets_received += 1
+        if not isinstance(packet, DatagramPacket):
+            raise TypeError(f"{self.name}: server got {type(packet).__name__}")
+        recipients = self.recipients_for(packet.cd, exclude=packet.src)
+        service = self.base_service_ms + self.per_recipient_ms * len(recipients)
+        self.queue.submit((packet, recipients), service, self._disseminate)
+
+    def _disseminate(self, item: Tuple[DatagramPacket, List[str]]) -> None:
+        packet, recipients = item
+        self.updates_handled += 1
+        out_face = next(iter(self.faces.values()))
+        for player in recipients:
+            copy = DatagramPacket(
+                src=self.name,
+                dst=player,
+                payload_size=packet.payload_size,
+                cd=packet.cd,
+                object_id=packet.object_id,
+                sequence=packet.sequence,
+                created_at=packet.created_at,
+            )
+            self.fanout_sent += 1
+            self.send(out_face, copy)
+
+
+class IpClientNode(Node):
+    """A player endpoint in the client/server architecture."""
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        server_for_cd: Optional[Callable[[Name], str]] = None,
+    ) -> None:
+        super().__init__(network, name)
+        self.server_for_cd = server_for_cd
+        self.updates_received = 0
+        self.published = 0
+        self.on_update: List[Callable[["IpClientNode", DatagramPacket], None]] = []
+
+    @property
+    def access_face(self) -> Face:
+        if len(self.faces) != 1:
+            raise RuntimeError(f"client {self.name} must have exactly one access face")
+        return self.faces[0]
+
+    def publish(
+        self,
+        cd: "Name | str",
+        payload_size: int,
+        object_id: int = -1,
+        sequence: int = -1,
+    ) -> DatagramPacket:
+        """Send one update to the server responsible for ``cd``."""
+        if self.server_for_cd is None:
+            raise RuntimeError(f"client {self.name} has no server mapping")
+        cd = Name.coerce(cd)
+        packet = DatagramPacket(
+            src=self.name,
+            dst=self.server_for_cd(cd),
+            payload_size=payload_size,
+            cd=cd,
+            object_id=object_id,
+            sequence=sequence,
+            created_at=self.sim.now,
+        )
+        self.published += 1
+        self.send(self.access_face, packet)
+        return packet
+
+    def receive(self, packet: Packet, face: Face) -> None:
+        """Deliver a server fan-out datagram to the update callbacks."""
+        self.packets_received += 1
+        if not isinstance(packet, DatagramPacket):
+            return
+        self.updates_received += 1
+        for callback in self.on_update:
+            callback(self, packet)

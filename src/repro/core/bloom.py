@@ -1,0 +1,183 @@
+"""Bloom filters for Subscription Tables.
+
+The paper's ST is a ``<Face, BloomFilter<CD>>`` table: per outgoing face, a
+Bloom filter describes the subscribed CD set, and a Multicast packet is
+forwarded on a face when its CD (or a prefix of it) hits the filter.
+
+Two variants:
+
+* :class:`BloomFilter` — the plain data-plane structure (what's on the
+  wire in the paper's hash-forwarding optimization);
+* :class:`CountingBloomFilter` — supports removal, needed because players
+  unsubscribe constantly as they move between zones.
+
+Hashing is deterministic (``blake2b`` with per-index salts) so simulation
+runs are reproducible and false-positive behaviour is testable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from functools import lru_cache
+from typing import Iterable, List, Tuple
+
+from repro.names import Name
+
+__all__ = ["BloomFilter", "CountingBloomFilter", "optimal_params"]
+
+
+def optimal_params(expected_items: int, fp_rate: float) -> tuple[int, int]:
+    """Classic (m, k) sizing: bits and hash count for a target FP rate."""
+    if expected_items <= 0:
+        raise ValueError("expected_items must be positive")
+    if not 0 < fp_rate < 1:
+        raise ValueError("fp_rate must be in (0, 1)")
+    m = math.ceil(-expected_items * math.log(fp_rate) / (math.log(2) ** 2))
+    k = max(1, round(m / expected_items * math.log(2)))
+    return m, k
+
+
+@lru_cache(maxsize=1 << 17)
+def _indexes(key: str, num_bits: int, num_hashes: int) -> Tuple[int, ...]:
+    """Deterministic double-hashing index derivation.
+
+    Cached: the CD universe of a game is small and static while the
+    forwarding path derives indexes on every hop of every packet.
+    """
+    digest = hashlib.blake2b(key.encode(), digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full period
+    return tuple((h1 + i * h2) % num_bits for i in range(num_hashes))
+
+
+def _key_of(cd: "Name | str") -> str:
+    return str(Name.coerce(cd))
+
+
+class BloomFilter:
+    """Plain Bloom filter over Content Descriptors."""
+
+    def __init__(self, num_bits: int = 1024, num_hashes: int = 4) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+        self.items_added = 0
+
+    @classmethod
+    def for_capacity(cls, expected_items: int, fp_rate: float = 0.01) -> "BloomFilter":
+        return cls(*optimal_params(expected_items, fp_rate))
+
+    def add(self, cd: "Name | str") -> None:
+        for idx in _indexes(_key_of(cd), self.num_bits, self.num_hashes):
+            self._bits[idx >> 3] |= 1 << (idx & 7)
+        self.items_added += 1
+
+    def __contains__(self, cd: object) -> bool:
+        if not isinstance(cd, (Name, str)):
+            return False
+        return all(
+            self._bits[idx >> 3] & (1 << (idx & 7))
+            for idx in _indexes(_key_of(cd), self.num_bits, self.num_hashes)
+        )
+
+    def matches_any_prefix(self, cd: "Name | str") -> bool:
+        """Hierarchical test: the CD or any prefix of it is in the filter."""
+        name = Name.coerce(cd)
+        return any(prefix in self for prefix in name.prefixes())
+
+    def update(self, cds: Iterable["Name | str"]) -> None:
+        for cd in cds:
+            self.add(cd)
+
+    def clear(self) -> None:
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+        self.items_added = 0
+
+    @property
+    def fill_ratio(self) -> float:
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits
+
+    def estimated_fp_rate(self) -> float:
+        """Current false-positive probability given the fill ratio."""
+        return self.fill_ratio ** self.num_hashes
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire/occupancy footprint of the bit array."""
+        return len(self._bits)
+
+
+class CountingBloomFilter:
+    """Bloom filter with 16-bit counters, supporting removal.
+
+    Subscription tables must shrink when players unsubscribe; plain Bloom
+    filters cannot delete, so routers keep the counting variant and can
+    derive the plain bit-vector view for the data plane.
+    """
+
+    def __init__(self, num_bits: int = 1024, num_hashes: int = 4) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._counts = [0] * num_bits
+        self.items = 0
+
+    @classmethod
+    def for_capacity(
+        cls, expected_items: int, fp_rate: float = 0.01
+    ) -> "CountingBloomFilter":
+        return cls(*optimal_params(expected_items, fp_rate))
+
+    def add(self, cd: "Name | str") -> None:
+        for idx in _indexes(_key_of(cd), self.num_bits, self.num_hashes):
+            self._counts[idx] += 1
+        self.items += 1
+
+    def remove(self, cd: "Name | str") -> None:
+        """Remove one occurrence; raises if the item was never added.
+
+        The guard cannot be perfect (Bloom filters have no membership
+        ground truth) but catching an underflow means a protocol bug
+        double-removed a subscription, which we want loudly.
+        """
+        idxs = _indexes(_key_of(cd), self.num_bits, self.num_hashes)
+        if any(self._counts[idx] == 0 for idx in idxs):
+            raise KeyError(f"removing {cd} which is not present")
+        for idx in idxs:
+            self._counts[idx] -= 1
+        self.items -= 1
+
+    def __contains__(self, cd: object) -> bool:
+        if not isinstance(cd, (Name, str)):
+            return False
+        return all(
+            self._counts[idx] > 0
+            for idx in _indexes(_key_of(cd), self.num_bits, self.num_hashes)
+        )
+
+    def matches_any_prefix(self, cd: "Name | str") -> bool:
+        name = Name.coerce(cd)
+        return any(prefix in self for prefix in name.prefixes())
+
+    def to_bloom(self) -> BloomFilter:
+        """Snapshot as a plain (non-counting) filter."""
+        bloom = BloomFilter(self.num_bits, self.num_hashes)
+        for idx, count in enumerate(self._counts):
+            if count > 0:
+                bloom._bits[idx >> 3] |= 1 << (idx & 7)
+        bloom.items_added = self.items
+        return bloom
+
+    def clear(self) -> None:
+        self._counts = [0] * self.num_bits
+        self.items = 0
+
+    @property
+    def fill_ratio(self) -> float:
+        return sum(1 for c in self._counts if c) / self.num_bits

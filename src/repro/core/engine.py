@@ -1,0 +1,804 @@
+"""The G-COPSS router engine, end hosts and network builder.
+
+This is the paper's Fig. 2 router: an NDN forwarding engine extended with a
+COPSS engine holding the Subscription Table (ST) and the pub/sub control
+logic.  The demultiplexer ("is a NDN pkt?") is :meth:`GCopssRouter._dispatch`
+— COPSS packet types are intercepted, everything else falls through to the
+NDN pipeline, keeping query/response applications working unchanged.
+
+Data path (§III-B/C):
+
+* A publisher's **Multicast** packet reaches its access router, which looks
+  up the responsible RP (prefix-free CD routes), encapsulates the packet in
+  an Interest named ``/rp/<RP>`` and forwards it hop-by-hop toward the RP.
+* The **RP** decapsulates (this is the expensive step the paper
+  microbenchmarks at ~3.3 ms) and multicasts the update down the
+  subscription tree: at every router the packet is replicated onto each
+  face whose ST Bloom filter matches the packet CD *or any prefix of it*.
+* **Subscribe** packets travel from subscribers toward the serving RP(s),
+  installing reverse-path ST state and aggregating en route.
+
+RP migration (§IV-B) is implemented in three stages:
+
+1. the old RP relinquishes the moved prefixes and relays arriving traffic;
+2. the **CD-handoff** packet walks the path to the new RP, reversing ST
+   entries so the entire old tree hangs off the new RP (no packet loss:
+   links and router queues are FIFO, so relayed updates always trail the
+   handoff);
+3. the new RP floods a **FIB add**, and every router holding affected
+   subscriptions re-anchors onto the shortest-path tree with the
+   pending-ST join/confirm/leave handshake — pending entries are not used
+   for forwarding until confirmed, so delivery continues over the old tree
+   throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.hierarchy import MapHierarchy
+from repro.core.packets import (
+    CdHandoffPacket,
+    ConfirmPacket,
+    FibAddPacket,
+    FibRemovePacket,
+    JoinPacket,
+    LeavePacket,
+    MulticastPacket,
+    SubscribePacket,
+    UnsubscribePacket,
+)
+from repro.core.rp import RpTable
+from repro.core.subscriptions import SubscriptionTable
+from repro.names import Name
+from repro.ndn.engine import NdnHost, NdnRouter
+from repro.ndn.fib import Fib
+from repro.ndn.packets import Interest
+from repro.packets import Packet
+from repro.sim.network import Face, Network, Node
+
+__all__ = [
+    "GCopssRouter",
+    "GCopssHost",
+    "GCopssNetworkBuilder",
+    "RP_NAMESPACE",
+    "DEFAULT_RP_SERVICE_MS",
+]
+
+#: NDN namespace used to tunnel Multicast packets toward an RP.
+RP_NAMESPACE = "rp"
+
+#: Per-packet RP processing time (FIB lookup + decapsulation + ST lookup),
+#: the paper's microbenchmark-derived 3.3 ms.
+DEFAULT_RP_SERVICE_MS = 3.3
+
+#: Per-packet plain COPSS forwarding time (ST Bloom check + replication).
+DEFAULT_COPSS_SERVICE_MS = 0.05
+
+
+class _MigrationState(Enum):
+    PENDING = auto()
+    CONFIRMED = auto()
+
+
+@dataclass
+class _Migration:
+    """Per-epoch tree re-anchoring state at one router (stage 3)."""
+
+    epoch: int
+    origin: str                       # new RP name
+    new_upstream: Optional[Face]
+    state: _MigrationState
+    join_cds: Set[Name] = field(default_factory=set)
+    affected_cds: Set[Name] = field(default_factory=set)
+    old_upstreams: Dict[Name, Set[Face]] = field(default_factory=dict)
+    pending_downstream: Dict[Face, Set[Name]] = field(default_factory=dict)
+
+
+def _intersects(cd: Name, prefixes: Iterable[Name]) -> bool:
+    """True when ``cd`` and any of ``prefixes`` cover one another."""
+    return any(p.is_prefix_of(cd) or cd.is_prefix_of(p) for p in prefixes)
+
+
+class GCopssRouter(NdnRouter):
+    """An NDN router extended with the COPSS engine (paper Fig. 2)."""
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        service_time: float = DEFAULT_COPSS_SERVICE_MS,
+        rp_service_time: float = DEFAULT_RP_SERVICE_MS,
+        cs_capacity: int = 4096,
+    ) -> None:
+        super().__init__(network, name, service_time=service_time, cs_capacity=cs_capacity)
+        self.rp_service_time = rp_service_time
+        # Grace period before detaching from the old tree after a
+        # migration confirm (see _handle_confirm).  No-loss holds as long
+        # as every packet already committed to the old tree drains within
+        # this window, so it must cover the network diameter plus the
+        # worst queueing delay at the moment a split triggers — with the
+        # default balancer threshold of 40 packets at 3.3 ms RP service,
+        # that is ~130 ms of backlog; 400 ms leaves ample margin.  The
+        # cost of a generous linger is only a brief window of duplicate
+        # deliveries, which uid dedup suppresses.
+        self.leave_linger_ms = 400.0
+        self.st: SubscriptionTable[Face] = SubscriptionTable()
+        # CD prefix -> name of the serving RP (longest-prefix matched).
+        self.cd_routes: Fib[str] = Fib()
+        # RP name -> local face on the shortest path toward it.
+        self.rp_route: Dict[str, Face] = {}
+        # Prefixes this router currently serves as RP.
+        self.rp_prefixes: Set[Name] = set()
+        # Prefixes handed off: publications still arriving here are relayed.
+        self.relinquished: Dict[Name, str] = {}
+        # cd -> faces we sent Subscribe/Join on (upstream tree pointers).
+        self._upstream_joined: Dict[Name, Set[Face]] = {}
+        self._seen_floods: Set[int] = set()
+        self._migrations: Dict[int, _Migration] = {}
+        # Sliding window of serving prefixes of recently decapsulated
+        # packets; the load balancer reads this to pick which CDs to shed.
+        self.rp_recent_cds: List[Name] = []
+        self.rp_window_size = 2000
+        # Replication dedup: a router never needs to replicate the same
+        # update twice (in a consistent tree it sees each update once; the
+        # second copy a migration fork can deliver is redundant, and this
+        # also hard-stops any Bloom-false-positive forwarding cycle).
+        self._replicated_uids: Set[int] = set()
+        self._replicated_order: List[int] = []
+        self._dedup_horizon = 65536
+        # Counters.
+        self.decapsulations = 0
+        self.multicasts_forwarded = 0
+        self.relays = 0
+        self.multicast_dropped_no_rp = 0
+        self.duplicate_multicasts_dropped = 0
+        self.unsubscribe_misses = 0
+        # Hook invoked as fn(router, serving_prefix) after each decap.
+        self.on_decap: List[Callable[["GCopssRouter", Name], None]] = []
+        # Subscriber-presence hooks (paper §IV-A): a cyclic-multicast broker
+        # starts on the first Subscribe for its group CD and stops on the
+        # last Unsubscribe.  Fired only for CDs this router serves as RP.
+        self.on_subscriber_appeared: List[Callable[[Name], None]] = []
+        self.on_subscriber_vanished: List[Callable[[Name], None]] = []
+
+    # ------------------------------------------------------------------
+    # Queueing / service model
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, face: Face) -> None:
+        self.packets_received += 1
+        self.queue.submit((packet, face), self._service_cost(packet, face), self._serve)
+
+    def _service_cost(self, packet: Packet, face: Face) -> float:
+        """RP decapsulation costs :attr:`rp_service_time`; all else is fast."""
+        if isinstance(packet, Interest) and isinstance(packet.payload, MulticastPacket):
+            if (
+                self._rp_target_of(packet) == self.name
+                and self._serving_prefix(packet.payload.cd) is not None
+            ):
+                return self.rp_service_time
+        elif isinstance(packet, MulticastPacket) and not isinstance(
+            face.peer, GCopssRouter
+        ):
+            # First-hop publish whose access router is itself the RP.
+            if self._serving_prefix(packet.cd) is not None:
+                return self.rp_service_time
+        return self.service_time
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, packet: Packet, face: Face) -> None:
+        if isinstance(packet, MulticastPacket):
+            self._handle_multicast(packet, face)
+        elif isinstance(packet, Interest) and isinstance(packet.payload, MulticastPacket):
+            self._handle_encapsulated(packet, face)
+        elif isinstance(packet, SubscribePacket):
+            self._handle_subscribe(packet, face)
+        elif isinstance(packet, UnsubscribePacket):
+            self._remove_subscriptions(packet.cds, face, strict=True)
+        elif isinstance(packet, FibAddPacket):
+            self._handle_fib_add(packet, face)
+        elif isinstance(packet, FibRemovePacket):
+            self._handle_fib_remove(packet, face)
+        elif isinstance(packet, CdHandoffPacket):
+            self._handle_handoff(packet, face)
+        elif isinstance(packet, JoinPacket):
+            self._handle_join(packet, face)
+        elif isinstance(packet, ConfirmPacket):
+            self._handle_confirm(packet, face)
+        elif isinstance(packet, LeavePacket):
+            self._remove_subscriptions(packet.prefixes, face, strict=False)
+        else:
+            super()._dispatch(packet, face)
+
+    # ------------------------------------------------------------------
+    # RP role helpers
+    # ------------------------------------------------------------------
+    def _serving_prefix(self, cd: Name) -> Optional[Name]:
+        """The rp_prefix under which this router serves ``cd``, if any."""
+        for prefix in self.rp_prefixes:
+            if prefix.is_prefix_of(cd):
+                return prefix
+        return None
+
+    def _relinquished_to(self, cd: Name) -> Optional[str]:
+        for prefix, new_rp in self.relinquished.items():
+            if prefix.is_prefix_of(cd):
+                return new_rp
+        return None
+
+    @staticmethod
+    def _rp_target_of(interest: Interest) -> str:
+        name = interest.name
+        if name.depth < 2 or name[0] != RP_NAMESPACE:
+            raise ValueError(f"not an RP tunnel name: {name}")
+        return name[1]
+
+    def _encapsulate_toward(self, mcast: MulticastPacket, rp: str) -> None:
+        face = self.rp_route.get(rp)
+        if face is None:
+            # The FIB flood for a brand-new RP may not have reached us yet;
+            # fall back to topology-shortest-path routing rather than drop.
+            try:
+                face = self.face_toward(self.network.next_hop(self.name, rp))
+            except Exception:
+                self.multicast_dropped_no_rp += 1
+                return
+        tunnel = Interest(
+            name=Name([RP_NAMESPACE, rp]),
+            payload=mcast,
+            created_at=mcast.created_at,
+        )
+        self.send(face, tunnel)
+
+    # ------------------------------------------------------------------
+    # Multicast data path
+    # ------------------------------------------------------------------
+    def _handle_multicast(self, mcast: MulticastPacket, face: Face) -> None:
+        if isinstance(face.peer, GCopssRouter):
+            # Down-tree replication of an already-decapsulated update.
+            self._replicate(mcast, exclude=face)
+            return
+        # First hop: a locally attached publisher handed us an update.
+        serving = self._serving_prefix(mcast.cd)
+        if serving is not None:
+            self._decapsulated(mcast, serving, exclude=face)
+            return
+        relinquished = self._relinquished_to(mcast.cd)
+        if relinquished is not None:
+            self.relays += 1
+            self._encapsulate_toward(mcast, relinquished)
+            return
+        targets = self.cd_routes.lookup(mcast.cd)
+        if not targets:
+            self.multicast_dropped_no_rp += 1
+            return
+        self._encapsulate_toward(mcast, min(targets))
+
+    def _handle_encapsulated(self, tunnel: Interest, face: Face) -> None:
+        target = self._rp_target_of(tunnel)
+        mcast = tunnel.payload
+        if target == self.name:
+            serving = self._serving_prefix(mcast.cd)
+            if serving is not None:
+                self._decapsulated(mcast, serving, exclude=None)
+                return
+            relinquished = self._relinquished_to(mcast.cd)
+            if relinquished is not None:
+                self.relays += 1
+                self._encapsulate_toward(mcast, relinquished)
+                return
+            self.multicast_dropped_no_rp += 1
+            return
+        out = self.rp_route.get(target)
+        if out is None:
+            self.multicast_dropped_no_rp += 1
+            return
+        self.send(out, tunnel)
+
+    def _decapsulated(
+        self, mcast: MulticastPacket, serving: Name, exclude: Optional[Face]
+    ) -> None:
+        self.decapsulations += 1
+        self.rp_recent_cds.append(serving)
+        if len(self.rp_recent_cds) > self.rp_window_size:
+            del self.rp_recent_cds[: len(self.rp_recent_cds) - self.rp_window_size]
+        for hook in self.on_decap:
+            hook(self, serving)
+        self._replicate(mcast, exclude=exclude)
+
+    def _replicate(self, mcast: MulticastPacket, exclude: Optional[Face]) -> None:
+        if mcast.uid in self._replicated_uids:
+            self.duplicate_multicasts_dropped += 1
+            return
+        self._replicated_uids.add(mcast.uid)
+        self._replicated_order.append(mcast.uid)
+        if len(self._replicated_order) > self._dedup_horizon:
+            half = len(self._replicated_order) // 2
+            self._replicated_uids.difference_update(self._replicated_order[:half])
+            del self._replicated_order[:half]
+        for out in self.st.match(mcast.cd):
+            if out is not exclude:
+                self.multicasts_forwarded += 1
+                self.send(out, mcast)
+
+    # ------------------------------------------------------------------
+    # Subscription control path
+    # ------------------------------------------------------------------
+    def _handle_subscribe(self, sub: SubscribePacket, face: Face) -> None:
+        for cd in sub.cds:
+            appeared = (
+                bool(self.on_subscriber_appeared)
+                and self._serving_prefix(cd) is not None
+                and cd not in self.st.all_cds()
+            )
+            first = self.st.ensure(face, cd)
+            if first:
+                self._join_upstream(cd)
+            if appeared:
+                for hook in self.on_subscriber_appeared:
+                    hook(cd)
+
+    def _join_upstream(self, cd: Name) -> None:
+        """Propagate a subscription toward every RP relevant to ``cd``."""
+        if self._serving_prefix(cd) is not None:
+            return  # we are the root for this CD
+        targets: Set[str] = set(self.cd_routes.lookup(cd))
+        if not targets:
+            for _prefix, rps in self.cd_routes.entries_under(cd).items():
+                targets.update(rps)
+        # Aggregate subscriptions may also span prefixes we serve ourselves.
+        targets.discard(self.name)
+        joined = self._upstream_joined.setdefault(cd, set())
+        out_faces = set()
+        for rp in targets:
+            out = self.rp_route.get(rp)
+            if out is not None and out not in joined:
+                out_faces.add(out)
+        for out in out_faces:
+            joined.add(out)
+            self.send(out, SubscribePacket(cds=(cd,), created_at=self.sim.now))
+        if not joined:
+            self._upstream_joined.pop(cd, None)
+
+    def _remove_subscriptions(
+        self, cds: Tuple[Name, ...], face: Face, strict: bool
+    ) -> None:
+        """Shared by Unsubscribe (strict) and Leave (lenient) handling.
+
+        Even the "strict" path tolerates a missing entry: a migration
+        Leave detaches a branch wholesale (all refcounts at once), so a
+        later refcounted Unsubscribe from a subscriber that had been
+        aggregated behind that branch can legitimately find nothing left
+        to remove.  Such events are counted, not raised.
+        """
+        for cd in cds:
+            if strict:
+                try:
+                    vanished = self.st.unsubscribe(face, cd)
+                except KeyError:
+                    self.unsubscribe_misses += 1
+                    continue
+            else:
+                vanished = self.st.remove_all(face, cd) > 0
+            if vanished and not self.st.has_any_subscriber(cd):
+                for out in self._upstream_joined.pop(cd, set()):
+                    self.send(out, UnsubscribePacket(cds=(cd,), created_at=self.sim.now))
+            if (
+                vanished
+                and self.on_subscriber_vanished
+                and self._serving_prefix(cd) is not None
+                and cd not in self.st.all_cds()
+            ):
+                for hook in self.on_subscriber_vanished:
+                    hook(cd)
+
+    # ------------------------------------------------------------------
+    # Stage 1+2: CD handoff (old RP -> new RP, reversing the path STs)
+    # ------------------------------------------------------------------
+    def initiate_handoff(self, prefixes: Iterable[Name], new_rp: str) -> CdHandoffPacket:
+        """Old-RP side of a split: relinquish ``prefixes`` and start relaying.
+
+        Called by the load balancer.  Returns the handoff packet (mostly
+        for tests).
+        """
+        moved = tuple(sorted(Name.coerce(p) for p in prefixes))
+        for prefix in moved:
+            if prefix not in self.rp_prefixes:
+                raise ValueError(f"{self.name} does not serve {prefix}")
+        next_hop = self.network.next_hop(self.name, new_rp)
+        out = self.face_toward(next_hop)
+        for prefix in moved:
+            self.rp_prefixes.discard(prefix)
+            self.relinquished[prefix] = new_rp
+        # Relayed publications must reach the new RP before its FIB flood
+        # comes back around; the handoff path itself is the route.
+        self.rp_route[new_rp] = out
+        self._reverse_st_toward(moved, out)
+        self._flip_upstreams(moved, out)
+        packet = CdHandoffPacket(
+            prefixes=moved, old_rp=self.name, new_rp=new_rp, created_at=self.sim.now
+        )
+        self.send(out, packet)
+        return packet
+
+    def _reverse_st_toward(self, moved: Tuple[Name, ...], path_face: Face) -> None:
+        """Detach the branch toward the new RP; it is now upstream."""
+        for cd in self.st.cds_on(path_face):
+            if _intersects(cd, moved):
+                self.st.remove_all(path_face, cd)
+
+    def _flip_upstreams(self, moved: Tuple[Name, ...], new_up: Optional[Face]) -> None:
+        """Point upstream-tree state for everything under ``moved`` at ``new_up``."""
+        affected = [
+            cd
+            for cd in set(self._upstream_joined) | self.st.all_cds() | set(moved)
+            if _intersects(cd, moved)
+        ]
+        for cd in affected:
+            if new_up is None:
+                self._upstream_joined.pop(cd, None)
+            else:
+                self._upstream_joined[cd] = {new_up}
+
+    def _handle_handoff(self, packet: CdHandoffPacket, face: Face) -> None:
+        moved = packet.prefixes
+        if self.name == packet.new_rp:
+            # We are the new root: adopt the prefixes, hang the old tree off
+            # the arrival face, and announce ourselves network-wide.
+            for prefix in moved:
+                self.rp_prefixes.add(prefix)
+                self.st.ensure(face, prefix)
+            self._flip_upstreams(moved, None)
+            flood = FibAddPacket(
+                prefixes=moved, origin=self.name, created_at=self.sim.now
+            )
+            self._handle_fib_add(flood, face=None)
+            return
+        # Intermediate path router: reverse the tree edge through us.
+        next_hop = self.network.next_hop(self.name, packet.new_rp)
+        out = self.face_toward(next_hop)
+        self.rp_route[packet.new_rp] = out
+        for prefix in moved:
+            self.st.ensure(face, prefix)
+        self._reverse_st_toward(moved, out)
+        self._flip_upstreams(moved, out)
+        self.send(out, packet)
+
+    # ------------------------------------------------------------------
+    # Stage 3: FIB flood and join/confirm/leave re-anchoring
+    # ------------------------------------------------------------------
+    def _handle_fib_add(self, packet: FibAddPacket, face: Optional[Face]) -> None:
+        if packet.uid in self._seen_floods:
+            return
+        self._seen_floods.add(packet.uid)
+        for prefix in packet.prefixes:
+            if self.cd_routes.has_prefix(prefix):
+                self.cd_routes.remove_prefix(prefix)
+            self.cd_routes.add(prefix, packet.origin)
+        if packet.origin != self.name and face is not None:
+            # Flood-learn: the first copy arrived along the fastest path.
+            self.rp_route[packet.origin] = face
+        for out in self.faces.values():
+            if out is not face and isinstance(out.peer, GCopssRouter):
+                self.send(out, packet)
+        if packet.origin != self.name:
+            self._maybe_start_migration(packet)
+
+    def _handle_fib_remove(self, packet: FibRemovePacket, face: Optional[Face]) -> None:
+        """Withdraw CD routes (an RP retiring prefixes without a successor).
+
+        Flooded like FIB-add; a publisher edge whose route disappears
+        counts subsequent publications as unroutable rather than looping
+        them.  Routes for prefixes the flood does not name are untouched,
+        so a coarser covering prefix (if any) takes over via LPM.
+        """
+        if packet.uid in self._seen_floods:
+            return
+        self._seen_floods.add(packet.uid)
+        for prefix in packet.prefixes:
+            if self.cd_routes.has_prefix(prefix):
+                self.cd_routes.remove_prefix(prefix)
+        if packet.origin == self.name:
+            self.rp_prefixes.difference_update(packet.prefixes)
+        for out in self.faces.values():
+            if out is not face and isinstance(out.peer, GCopssRouter):
+                self.send(out, packet)
+
+    def _maybe_start_migration(self, packet: FibAddPacket) -> None:
+        moved = packet.prefixes
+        affected = {
+            cd
+            for cd in set(self._upstream_joined) | self.st.all_cds()
+            if _intersects(cd, moved)
+        }
+        if not affected:
+            return
+        if any(self._serving_prefix(cd) is not None for cd in affected):
+            # Shouldn't happen: prefix-freeness keeps served CDs disjoint.
+            return
+        new_up = self.rp_route.get(packet.origin)
+        if new_up is None:
+            return
+        old_upstreams = {
+            cd: set(self._upstream_joined.get(cd, set())) for cd in affected
+        }
+        needs_move = [
+            cd for cd in affected if old_upstreams[cd] and old_upstreams[cd] != {new_up}
+        ]
+        migration = _Migration(
+            epoch=packet.uid,
+            origin=packet.origin,
+            new_upstream=new_up,
+            state=_MigrationState.CONFIRMED if not needs_move else _MigrationState.PENDING,
+            join_cds=set(needs_move),
+            affected_cds=set(affected),
+            old_upstreams=old_upstreams,
+        )
+        self._migrations[packet.uid] = migration
+        if needs_move:
+            self.send(
+                new_up,
+                JoinPacket(
+                    prefixes=tuple(sorted(needs_move)),
+                    epoch=packet.uid,
+                    origin=packet.origin,
+                    created_at=self.sim.now,
+                ),
+            )
+
+    def _handle_join(self, packet: JoinPacket, face: Face) -> None:
+        cds = set(packet.prefixes)
+        if self.name == packet.origin or any(
+            self._serving_prefix(cd) is not None for cd in cds
+        ):
+            # We are the new root: the branch attaches immediately.
+            for cd in cds:
+                self.st.ensure(face, cd)
+            self.send(face, ConfirmPacket(epoch=packet.epoch, created_at=self.sim.now))
+            return
+        migration = self._migrations.get(packet.epoch)
+        if migration is not None and migration.state is _MigrationState.CONFIRMED:
+            for cd in cds:
+                first = self.st.ensure(face, cd)
+                if first:
+                    self._join_upstream(cd)
+            self.send(face, ConfirmPacket(epoch=packet.epoch, created_at=self.sim.now))
+            return
+        if migration is None:
+            new_up = self.rp_route.get(packet.origin)
+            if new_up is None:
+                next_hop = self.network.next_hop(self.name, packet.origin)
+                new_up = self.face_toward(next_hop)
+            migration = _Migration(
+                epoch=packet.epoch,
+                origin=packet.origin,
+                new_upstream=new_up,
+                state=_MigrationState.PENDING,
+                join_cds=set(),
+            )
+            self._migrations[packet.epoch] = migration
+            migration.pending_downstream[face] = set(cds)
+            migration.join_cds = set(cds)
+            self.send(
+                migration.new_upstream,
+                JoinPacket(
+                    prefixes=tuple(sorted(cds)),
+                    epoch=packet.epoch,
+                    origin=packet.origin,
+                    created_at=self.sim.now,
+                ),
+            )
+            return
+        # PENDING: stash the request; forward any CDs not yet covered.
+        migration.pending_downstream.setdefault(face, set()).update(cds)
+        delta = cds - migration.join_cds
+        if delta:
+            migration.join_cds |= delta
+            self.send(
+                migration.new_upstream,
+                JoinPacket(
+                    prefixes=tuple(sorted(delta)),
+                    epoch=packet.epoch,
+                    origin=packet.origin,
+                    created_at=self.sim.now,
+                ),
+            )
+
+    def _handle_confirm(self, packet: ConfirmPacket, face: Face) -> None:
+        migration = self._migrations.get(packet.epoch)
+        if migration is None or migration.state is _MigrationState.CONFIRMED:
+            return
+        migration.state = _MigrationState.CONFIRMED
+        # Activate pending downstream branches.
+        for down_face, cds in migration.pending_downstream.items():
+            for cd in cds:
+                self.st.ensure(down_face, cd)
+            self.send(
+                down_face, ConfirmPacket(epoch=packet.epoch, created_at=self.sim.now)
+            )
+        # Switch our own upstream pointers and leave the old tree.  Only
+        # CDs we actually joined for are re-pointed: affected CDs that were
+        # already anchored at the new upstream (or had no upstream at all)
+        # must not gain a phantom upstream pointer, or a later unsubscribe
+        # would tear down state we never installed.
+        new_up = migration.new_upstream
+        leaves: Dict[Face, Set[Name]] = {}
+        for cd in migration.join_cds:
+            joined = self._upstream_joined.setdefault(cd, set())
+            olds = set(migration.old_upstreams.get(cd, set()))
+            for old in olds:
+                if old is not new_up:
+                    leaves.setdefault(old, set()).add(cd)
+                    joined.discard(old)
+            joined.add(new_up)
+        # Leave the old branch only after a linger period: a packet that
+        # was decapsulated at the new RP before our Join reached it may
+        # still be in flight on the (longer) old path, and an immediate
+        # Leave upstream would cut it off.  During the linger both branches
+        # are live; the duplicate copies are suppressed by uid dedup.
+        for old_face, cds in leaves.items():
+            self.sim.schedule(
+                self.leave_linger_ms,
+                self.send,
+                old_face,
+                LeavePacket(
+                    prefixes=tuple(sorted(cds)),
+                    epoch=packet.epoch,
+                    created_at=self.sim.now,
+                ),
+            )
+
+
+class GCopssHost(NdnHost):
+    """An end system (player, broker or tracer) speaking G-COPSS.
+
+    Provides ``subscribe`` / ``unsubscribe`` / ``publish`` and dispatches
+    received updates to :attr:`on_update` callbacks, while inheriting the
+    full NDN host API (``express_interest`` / ``serve``) so the same host
+    can fetch snapshots query/response style.  Duplicate deliveries
+    (possible transiently during RP migration) are suppressed by packet
+    uid.
+    """
+
+    def __init__(self, network: Network, name: str, dedup_horizon: int = 65536) -> None:
+        super().__init__(network, name)
+        self.subscriptions: Set[Name] = set()
+        self.on_update: List[Callable[["GCopssHost", MulticastPacket], None]] = []
+        self.updates_received = 0
+        self.duplicates_suppressed = 0
+        self.own_updates_echoed = 0
+        self.published = 0
+        self._seen_uids: Set[int] = set()
+        self._seen_order: List[int] = []
+        self._dedup_horizon = dedup_horizon
+
+    @property
+    def access_face(self) -> Face:
+        if len(self.faces) != 1:
+            raise RuntimeError(
+                f"host {self.name} must have exactly one access face, has {len(self.faces)}"
+            )
+        return self.faces[0]
+
+    # ------------------------------------------------------------------
+    # Pub/sub API
+    # ------------------------------------------------------------------
+    def subscribe(self, cds: Iterable["Name | str"]) -> None:
+        """Subscribe to CDs (already-held subscriptions are skipped)."""
+        fresh = [Name.coerce(cd) for cd in cds]
+        fresh = [cd for cd in fresh if cd not in self.subscriptions]
+        if not fresh:
+            return
+        self.subscriptions.update(fresh)
+        self.send(
+            self.access_face,
+            SubscribePacket(cds=tuple(sorted(fresh)), created_at=self.sim.now),
+        )
+
+    def unsubscribe(self, cds: Iterable["Name | str"]) -> None:
+        """Withdraw subscriptions (unknown CDs are skipped)."""
+        gone = [Name.coerce(cd) for cd in cds]
+        gone = [cd for cd in gone if cd in self.subscriptions]
+        if not gone:
+            return
+        self.subscriptions.difference_update(gone)
+        self.send(
+            self.access_face,
+            UnsubscribePacket(cds=tuple(sorted(gone)), created_at=self.sim.now),
+        )
+
+    def set_subscriptions(self, cds: Iterable["Name | str"]) -> None:
+        """Diff-based re-subscription used when the player moves areas."""
+        target = {Name.coerce(cd) for cd in cds}
+        self.unsubscribe(self.subscriptions - target)
+        self.subscribe(target - self.subscriptions)
+
+    def publish(
+        self, cd: "Name | str", payload_size: int, sequence: int = -1
+    ) -> MulticastPacket:
+        """Publish one update under ``cd`` (one-step COPSS push)."""
+        packet = MulticastPacket(
+            cd=Name.coerce(cd),
+            payload_size=payload_size,
+            publisher=self.name,
+            sequence=sequence,
+            created_at=self.sim.now,
+        )
+        self.published += 1
+        self.send(self.access_face, packet)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, face: Face) -> None:
+        """Dispatch updates to callbacks; NDN traffic goes to the base."""
+        if not isinstance(packet, MulticastPacket):
+            super().receive(packet, face)  # Interest/Data via the NDN host
+            return
+        self.packets_received += 1
+        if packet.publisher == self.name:
+            # A subscribed publisher hears its own update come back down
+            # the tree (unless its access router happened to be the RP);
+            # suppress uniformly — the player already knows its action.
+            self.own_updates_echoed += 1
+            return
+        if packet.uid in self._seen_uids:
+            self.duplicates_suppressed += 1
+            return
+        self._seen_uids.add(packet.uid)
+        self._seen_order.append(packet.uid)
+        if len(self._seen_order) > self._dedup_horizon:
+            drop = self._seen_order[: len(self._seen_order) // 2]
+            del self._seen_order[: len(self._seen_order) // 2]
+            self._seen_uids.difference_update(drop)
+        self.updates_received += 1
+        for callback in self.on_update:
+            callback(self, packet)
+
+
+class GCopssNetworkBuilder:
+    """Installs the initial RP layout into a network of G-COPSS routers.
+
+    Populates every router's CD routes (prefix -> serving RP) and RP routes
+    (RP -> shortest-path face), and marks the RP routers.  This models the
+    converged state after initial FIB-add propagation, which the paper's
+    testbed also configures ahead of time.
+    """
+
+    def __init__(self, network: Network, rp_table: RpTable) -> None:
+        self.network = network
+        self.rp_table = rp_table
+
+    def routers(self) -> List[GCopssRouter]:
+        return [
+            node
+            for node in self.network.nodes.values()
+            if isinstance(node, GCopssRouter)
+        ]
+
+    def install(self) -> None:
+        """Populate CD routes, RP routes and RP roles on every router."""
+        rp_names = self.rp_table.all_rps()
+        for rp_name in rp_names:
+            node = self.network.nodes.get(rp_name)
+            if not isinstance(node, GCopssRouter):
+                raise ValueError(f"RP {rp_name} is not a GCopssRouter in this network")
+        for router in self.routers():
+            for prefix, rp_name in self.rp_table:
+                if router.cd_routes.has_prefix(prefix):
+                    router.cd_routes.remove_prefix(prefix)
+                router.cd_routes.add(prefix, rp_name)
+            for rp_name in rp_names:
+                if rp_name == router.name:
+                    continue
+                next_hop = self.network.next_hop(router.name, rp_name)
+                router.rp_route[rp_name] = router.face_toward(next_hop)
+        for prefix, rp_name in self.rp_table:
+            rp_router = self.network.nodes[rp_name]
+            assert isinstance(rp_router, GCopssRouter)
+            rp_router.rp_prefixes.add(prefix)

@@ -1,0 +1,148 @@
+"""Hybrid G-COPSS: incremental deployment over an IP multicast core.
+
+Paper §III-D: COPSS-enabled *edge* routers provide the content-centric
+pub/sub interface while unmodified IP routers forward natively.  The
+multitude of hierarchical CDs must be mapped onto a limited IP multicast
+address space; G-COPSS hashes **high-level** CDs (rather than leaf CDs) so
+the mapping tables aggregate and a message to ``/1/1/1`` automatically
+reaches subscribers of ``/1/1`` and ``/1``.  Because several CDs share one
+IP group, messages also reach edges with no matching subscriber; the
+receiver-side edge router filters those out — wasted transmissions are the
+price of deployability, measured in Table II.
+
+:class:`HybridMapper` implements the CD -> group mapping and the edge
+subscription/filter logic; the experiment harness combines it with
+:class:`~repro.sim.flows.FlowAccountant` for load/latency accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.names import Name
+
+__all__ = ["HybridMapper"]
+
+
+def _stable_hash(text: str) -> int:
+    return int.from_bytes(hashlib.blake2b(text.encode(), digest_size=8).digest(), "big")
+
+
+class HybridMapper:
+    """CD to IP-multicast-group mapping at COPSS edge routers.
+
+    ``num_groups`` models the available IP multicast address space (the
+    paper's Table II uses 6 groups for the full trace).  ``hash_depth``
+    selects which prefix level is hashed: depth 1 hashes top-level CDs, so
+    an entire region (and everything below it) shares one group —
+    exactly the aggregation §III-D describes.
+    """
+
+    def __init__(self, num_groups: int, hash_depth: int = 1) -> None:
+        if num_groups < 1:
+            raise ValueError("need at least one IP multicast group")
+        if hash_depth < 0:
+            raise ValueError("hash_depth must be >= 0")
+        self.num_groups = num_groups
+        self.hash_depth = hash_depth
+        # Edge name -> exact CD subscription sets (the edge's COPSS ST).
+        self._edge_subscriptions: Dict[Hashable, Set[Name]] = {}
+        # Edge name -> IP groups joined.
+        self._edge_groups: Dict[Hashable, Set[int]] = {}
+        self.filtered_deliveries = 0
+        self.useful_deliveries = 0
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def group_of(self, cd: "Name | str") -> int:
+        """IP multicast group for a CD: hash of its high-level prefix."""
+        cd = Name.coerce(cd)
+        depth = min(self.hash_depth, cd.depth)
+        prefix = cd.slice(depth)
+        return _stable_hash(str(prefix)) % self.num_groups
+
+    def groups_for_subscription(self, cd: "Name | str") -> Set[int]:
+        """Groups an edge must join to cover a subscription to ``cd``.
+
+        A subscription above the hash depth (say ``/`` with depth-1
+        hashing) can match publications whose high-level prefixes hash to
+        *any* group, so the edge joins them all.
+        """
+        cd = Name.coerce(cd)
+        if cd.depth >= self.hash_depth:
+            return {self.group_of(cd)}
+        return set(range(self.num_groups))
+
+    # ------------------------------------------------------------------
+    # Edge state
+    # ------------------------------------------------------------------
+    def subscribe(self, edge: Hashable, cds: Iterable["Name | str"]) -> None:
+        """Record subscriptions at an edge and join the needed groups."""
+        subs = self._edge_subscriptions.setdefault(edge, set())
+        groups = self._edge_groups.setdefault(edge, set())
+        for cd in cds:
+            cd = Name.coerce(cd)
+            subs.add(cd)
+            groups.update(self.groups_for_subscription(cd))
+
+    def unsubscribe(self, edge: Hashable, cds: Iterable["Name | str"]) -> None:
+        """Drop subscriptions and leave groups no longer needed."""
+        subs = self._edge_subscriptions.get(edge)
+        if subs is None:
+            return
+        for cd in cds:
+            subs.discard(Name.coerce(cd))
+        self._rebuild_groups(edge)
+
+    def _rebuild_groups(self, edge: Hashable) -> None:
+        subs = self._edge_subscriptions.get(edge, set())
+        groups: Set[int] = set()
+        for cd in subs:
+            groups.update(self.groups_for_subscription(cd))
+        if groups:
+            self._edge_groups[edge] = groups
+        else:
+            self._edge_groups.pop(edge, None)
+            self._edge_subscriptions.pop(edge, None)
+
+    def set_subscriptions(self, edge: Hashable, cds: Iterable["Name | str"]) -> None:
+        self._edge_subscriptions[edge] = {Name.coerce(cd) for cd in cds}
+        self._rebuild_groups(edge)
+
+    # ------------------------------------------------------------------
+    # Delivery classification
+    # ------------------------------------------------------------------
+    def group_members(self, group: int) -> List[Hashable]:
+        """Edges joined to an IP multicast group (sorted, deterministic)."""
+        return sorted(
+            (e for e, gs in self._edge_groups.items() if group in gs), key=repr
+        )
+
+    def edge_wants(self, edge: Hashable, cd: "Name | str") -> bool:
+        """Receiver-side filter: does any local subscription match ``cd``?"""
+        cd = Name.coerce(cd)
+        subs = self._edge_subscriptions.get(edge, set())
+        return any(prefix in subs for prefix in cd.prefixes())
+
+    def deliver(self, cd: "Name | str") -> Tuple[List[Hashable], List[Hashable]]:
+        """Classify a publication's group members into (wanted, filtered).
+
+        ``wanted`` edges have a matching subscriber; ``filtered`` edges
+        received the packet only because of group sharing and drop it.
+        The IP network carried the packet to *both* sets — that is the
+        hybrid mode's extra network load.
+        """
+        cd = Name.coerce(cd)
+        members = self.group_members(self.group_of(cd))
+        wanted = [e for e in members if self.edge_wants(e, cd)]
+        filtered = [e for e in members if not self.edge_wants(e, cd)]
+        self.useful_deliveries += len(wanted)
+        self.filtered_deliveries += len(filtered)
+        return wanted, filtered
+
+    @property
+    def waste_ratio(self) -> float:
+        total = self.useful_deliveries + self.filtered_deliveries
+        return self.filtered_deliveries / total if total else 0.0

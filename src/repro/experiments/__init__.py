@@ -1,0 +1,25 @@
+"""Experiment harness: one runner per table/figure of the paper's §V.
+
+Every module regenerates one evaluation artifact:
+
+=============  ==================================================
+Module         Paper artifact
+=============  ==================================================
+fig3_workload  Fig. 3c/3d — workload characterization
+fig4_microbench Fig. 4 — update-latency CDF (G-COPSS vs NDN vs IP)
+table1_rp_count Table I — latency & load vs #RPs / #servers, and the
+               Fig. 5a/5b/5c latency series (same runs, memoized)
+fig6_scalability Fig. 6a/6b — latency & load vs player count
+table2_hybrid   Table II — IP vs G-COPSS vs hybrid, full trace
+table3_movement Table III — snapshot convergence per move type
+=============  ==================================================
+
+The heavy lifting is shared: :mod:`repro.experiments.common` builds the
+scenario networks and replays traces; :mod:`repro.experiments.calibration`
+holds every constant with its provenance in the paper's text;
+:mod:`repro.experiments.report` renders paper-style ASCII tables.
+"""
+
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION"]

@@ -1,0 +1,163 @@
+"""Command-line front end: regenerate any of the paper's artifacts.
+
+Usage::
+
+    python -m repro.experiments fig3
+    python -m repro.experiments fig4 --scale 0.25
+    python -m repro.experiments table1 --updates 6000
+    python -m repro.experiments fig6
+    python -m repro.experiments table2 --sample 0.01
+    python -m repro.experiments table3 --moves 80
+    python -m repro.experiments all
+
+Each subcommand prints the regenerated table/figure in the same layout
+the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.report import render_cdf, render_series, render_table
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    from repro.experiments.fig3_workload import run_fig3
+
+    result = run_fig3(num_updates=args.updates)
+    print(render_table("Fig. 3 workload characterization", ("metric", "value"), result.rows()))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    from repro.experiments.fig4_microbench import run_fig4
+
+    result = run_fig4(scale=args.scale)
+    print(render_cdf("Fig. 4 update-latency CDF (ms)", result.cdf_curves()))
+    rows = [
+        (r.label, r.latency.count, round(r.latency.mean, 2))
+        for r in (result.gcopss, result.ip_server, result.ndn)
+        if r.latency.count
+    ]
+    print(render_table("Fig. 4 summary", ("system", "deliveries", "mean ms"), rows))
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.experiments.table1_rp_count import run_table1
+
+    result = run_table1(num_updates=args.updates)
+    print(
+        render_table(
+            f"Table I ({args.updates} updates, 414 players)",
+            ("type", "# RPs/servers", "update latency (ms)", "network load (GB)"),
+            result.rows(),
+        )
+    )
+    for key, title in (("3", "Fig. 5a (3 RPs)"), ("2", "Fig. 5b (2 RPs)"), ("auto", "Fig. 5c (auto)")):
+        print()
+        print(render_series(title, result.gcopss[key].series.envelope(), max_rows=12))
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.experiments.fig6_scalability import run_fig6
+
+    sweep = tuple(int(x) for x in args.players.split(","))
+    result = run_fig6(player_counts=sweep, updates_per_point=args.updates)
+    rows = [(n, round(g, 2), round(s, 2)) for n, g, s in result.latency_series()]
+    print(render_table("Fig. 6a response latency (ms)", ("players", "G-COPSS", "IP server"), rows))
+    rows = [(n, round(g, 3), round(s, 3)) for n, g, s in result.load_series()]
+    print(render_table("Fig. 6b network load (GB, normalized)", ("players", "G-COPSS", "IP server"), rows))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.experiments.table2_hybrid import run_table2
+
+    result = run_table2(sample=args.sample)
+    print(
+        render_table(
+            f"Table II (full-trace equivalents, sample={args.sample})",
+            ("type", "update latency (ms)", "network load (GB)"),
+            result.rows(),
+        )
+    )
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    from repro.experiments.table3_movement import run_table3_all
+
+    result = run_table3_all(num_players=args.players, num_moves=args.moves)
+    labels = list(result.modes)
+    print(
+        render_table(
+            f"Table III convergence ms ({args.moves} scheduled moves)",
+            ("move type", "count", "leaf CDs", *labels),
+            result.rows(),
+        )
+    )
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    for name in ("fig3", "fig4", "table1", "fig6", "table2", "table3"):
+        print(f"\n===== {name} =====")
+        started = time.time()
+        _DISPATCH[name](_defaults_for(name))
+        print(f"[{name} done in {time.time() - started:.0f}s]")
+
+
+def _defaults_for(name: str) -> argparse.Namespace:
+    parser = _build_parser()
+    return parser.parse_args([name])
+
+
+_DISPATCH = {
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "table1": _cmd_table1,
+    "fig6": _cmd_fig6,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "all": _cmd_all,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig3", help="workload characterization (Fig. 3c/3d)")
+    p.add_argument("--updates", type=int, default=30_000)
+
+    p = sub.add_parser("fig4", help="microbenchmark latency CDF (Fig. 4)")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="fraction of the 12,440-event testbed trace")
+
+    p = sub.add_parser("table1", help="latency/load vs #RPs (Table I + Fig. 5)")
+    p.add_argument("--updates", type=int, default=6_000)
+
+    p = sub.add_parser("fig6", help="scalability sweep (Fig. 6a/6b)")
+    p.add_argument("--players", type=str, default="62,414,1200,2400")
+    p.add_argument("--updates", type=int, default=2_500)
+
+    p = sub.add_parser("table2", help="full-trace IP/G-COPSS/hybrid (Table II)")
+    p.add_argument("--sample", type=float, default=0.01)
+
+    p = sub.add_parser("table3", help="snapshot convergence (Table III)")
+    p.add_argument("--players", type=int, default=62)
+    p.add_argument("--moves", type=int, default=80)
+
+    sub.add_parser("all", help="run every artifact at default scale")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    _DISPATCH[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

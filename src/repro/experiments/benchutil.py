@@ -1,0 +1,22 @@
+"""Helpers shared by the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` should finish in minutes at the
+default scale; ``REPRO_FULL=1`` switches every benchmark to paper-scale
+run lengths (workload *rates* are identical either way, so congestion
+behaviour and result orderings are preserved — only statistical depth
+changes).
+"""
+
+import os
+
+__all__ = ["full_scale", "run_once"]
+
+
+def full_scale() -> bool:
+    """True when REPRO_FULL=1 selects paper-scale benchmark runs."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

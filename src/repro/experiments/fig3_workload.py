@@ -1,0 +1,51 @@
+"""Fig. 3c / Fig. 3d — workload characterization of the game trace.
+
+Fig. 3c: number of updates per player (long-tailed).  Fig. 3d: players
+and objects per area (4-20 and 80-120 envelopes).  Regenerated from the
+synthetic Counter-Strike trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.game.map import GameMap
+from repro.trace.generator import CounterStrikeTraceGenerator, peak_trace_spec
+from repro.trace.stats import TraceStatistics
+
+__all__ = ["Fig3Result", "run_fig3"]
+
+
+@dataclass
+class Fig3Result:
+    stats: TraceStatistics
+    player_cdf: List[Tuple[int, float]]
+    envelopes: Dict[str, Tuple[int, int]]
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """(metric, value) rows for the characterization table."""
+        return [
+            ("players", self.stats.num_players),
+            ("updates", self.stats.num_updates),
+            ("mean inter-arrival (ms)", round(self.stats.mean_interarrival_ms, 2)),
+            ("update size range (B)", f"{self.stats.size_min}-{self.stats.size_max}"),
+            ("players per area", self.envelopes["players_per_area"]),
+            ("objects per area", self.envelopes["objects_per_area"]),
+            ("per-player skew (max/mean)", round(self.stats.skew_ratio(), 2)),
+        ]
+
+
+def run_fig3(num_updates: int = 50_000, seed: int = 42) -> Fig3Result:
+    """Generate a peak trace and collect the Fig. 3c/3d statistics."""
+    game_map = GameMap(seed=seed)
+    generator = CounterStrikeTraceGenerator(
+        game_map, peak_trace_spec(num_updates=num_updates, seed=seed)
+    )
+    events = generator.generate()
+    stats = TraceStatistics.collect(events, game_map, generator.placement)
+    return Fig3Result(
+        stats=stats,
+        player_cdf=stats.player_update_cdf(),
+        envelopes=stats.area_envelopes(),
+    )

@@ -1,0 +1,97 @@
+"""Player glue: binds a game-map position to a G-COPSS host.
+
+A :class:`Player` owns a :class:`~repro.core.engine.GCopssHost`, keeps its
+area up to date (publishing CD + subscription set follow the hierarchy
+semantics of §III-A), publishes object updates into the correct area leaf
+CD, and — on movement — re-subscribes and triggers snapshot retrieval via
+whichever mode the experiment configured.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.engine import GCopssHost
+from repro.core.packets import MulticastPacket
+from repro.game.map import GameMap
+from repro.names import Name
+
+__all__ = ["Player"]
+
+
+class Player:
+    """One participant: a position on the map plus its network host."""
+
+    def __init__(self, host: GCopssHost, game_map: GameMap, area: "Name | str") -> None:
+        self.host = host
+        self.map = game_map
+        self.area = Name.coerce(area)
+        if not game_map.hierarchy.is_area(self.area):
+            raise ValueError(f"{self.area} is not an area of the map")
+        self.updates_published = 0
+        self.moves = 0
+        # fn(player, src_area, dst_area, needed_leaf_cds) — experiments hook
+        # snapshot retrieval here.
+        self.on_move: List[Callable[["Player", Name, Name, frozenset], None]] = []
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    # ------------------------------------------------------------------
+    # Pub/sub lifecycle
+    # ------------------------------------------------------------------
+    def join(self) -> None:
+        """Come online: subscribe according to the current position."""
+        self.host.set_subscriptions(self.map.hierarchy.subscriptions_for(self.area))
+
+    def leave(self) -> None:
+        """Go offline: withdraw all subscriptions."""
+        self.host.set_subscriptions([])
+
+    def publish_update(
+        self, object_id: int, payload_size: int, sequence: int = -1
+    ) -> MulticastPacket:
+        """Modify an object in the AoI; the update is published under the
+        CD of the *object's* area (paper: "all the updates are translated
+        into the respective CDs")."""
+        cd = self.map.area_of_object(object_id)
+        visible = self.map.hierarchy.visible_leaf_cds(self.area)
+        if cd not in visible:
+            raise ValueError(
+                f"{self.name} at {self.area} cannot see object {object_id} in {cd}"
+            )
+        packet = MulticastPacket(
+            cd=cd,
+            payload_size=payload_size,
+            publisher=self.name,
+            sequence=sequence,
+            object_id=object_id,
+            created_at=self.host.sim.now,
+        )
+        self.host.published += 1
+        self.host.send(self.host.access_face, packet)
+        self.updates_published += 1
+        return packet
+
+    # ------------------------------------------------------------------
+    # Movement
+    # ------------------------------------------------------------------
+    def move_to(self, new_area: "Name | str") -> frozenset:
+        """Relocate; returns the leaf CDs whose snapshots must be fetched."""
+        new_area = Name.coerce(new_area)
+        if not self.map.hierarchy.is_area(new_area):
+            raise ValueError(f"{new_area} is not an area of the map")
+        if new_area == self.area:
+            return frozenset()
+        old_area = self.area
+        needed = self.map.hierarchy.snapshot_cds_for_move(old_area, new_area)
+        self.area = new_area
+        self.host.set_subscriptions(self.map.hierarchy.subscriptions_for(new_area))
+        self.moves += 1
+        for hook in self.on_move:
+            hook(self, old_area, new_area, needed)
+        return needed
+
+    def __repr__(self) -> str:
+        return f"Player({self.name} @ {self.area})"

@@ -1,0 +1,35 @@
+"""NDN/CCN substrate: Interest/Data forwarding with FIB, PIT and Content Store.
+
+G-COPSS is implemented *on top of* an NDN-aware router (paper §III-C): the
+COPSS engine encapsulates Multicast packets into Interests addressed to the
+RP and relies on NDN's FIB to route them, while plain query/response
+applications (the snapshot brokers' QR mode, the VoCCN-style NDN gaming
+baseline) use Interest/Data natively.  This package is that substrate,
+built from scratch:
+
+* :mod:`repro.ndn.packets` — Interest and Data wire types;
+* :mod:`repro.ndn.fib` — longest-prefix-match Forwarding Information Base;
+* :mod:`repro.ndn.pit` — Pending Interest Table with aggregation,
+  loop-detection nonces and expiry (the "bread crumbs" for reverse-path
+  Data delivery);
+* :mod:`repro.ndn.cs` — Content Store (LRU cache with freshness aging);
+* :mod:`repro.ndn.engine` — the forwarding engine tying them together,
+  plus host-side helpers and static route installation.
+"""
+
+from repro.ndn.cs import ContentStore
+from repro.ndn.engine import NdnHost, NdnRouter, install_routes
+from repro.ndn.fib import Fib
+from repro.ndn.packets import Data, Interest
+from repro.ndn.pit import Pit
+
+__all__ = [
+    "Interest",
+    "Data",
+    "Fib",
+    "Pit",
+    "ContentStore",
+    "NdnRouter",
+    "NdnHost",
+    "install_routes",
+]

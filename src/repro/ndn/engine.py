@@ -1,0 +1,244 @@
+"""NDN forwarding engine: routers, hosts and static route installation.
+
+:class:`NdnRouter` wires the FIB, PIT and Content Store behind a
+single-server processing queue (the microbenchmark's router service time).
+:class:`NdnHost` is the end-system library: express Interests with
+callbacks and timeouts, and serve prefixes as a producer.
+
+Route installation is static shortest-path (:func:`install_routes`),
+standing in for a routing protocol like NLSR — the paper's testbed also
+used manually configured FIBs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.names import Name
+from repro.ndn.cs import ContentStore
+from repro.ndn.fib import Fib
+from repro.ndn.packets import Data, Interest
+from repro.ndn.pit import InterestAction, Pit
+from repro.packets import Packet
+from repro.sim.engine import EventHandle
+from repro.sim.network import Face, Network, Node
+from repro.sim.queues import ServiceQueue
+
+__all__ = ["NdnRouter", "NdnHost", "install_routes"]
+
+#: Default per-packet router processing time (ms).  Calibrated so that the
+#: 6-router microbenchmark topology reproduces the paper's G-COPSS mean
+#: update latency regime (a few ms end-to-end without queueing).
+DEFAULT_ROUTER_SERVICE_MS = 0.05
+
+DataHandler = Callable[[Data], None]
+TimeoutHandler = Callable[[Name], None]
+ProducerHandler = Callable[[Interest], Optional[Data]]
+
+
+class NdnRouter(Node):
+    """An NDN forwarding node.
+
+    Every received packet passes through a FIFO processing queue with a
+    deterministic per-packet service time, then is dispatched by type.
+    Interests take the CS -> PIT -> FIB pipeline; Data takes the
+    PIT-reverse-path pipeline.  Subclasses (the G-COPSS router) override
+    :meth:`_dispatch` to intercept their own packet types first — this is
+    the "is a NDN pkt?" demultiplexer of the paper's Fig. 2.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        service_time: float = DEFAULT_ROUTER_SERVICE_MS,
+        cs_capacity: int = 4096,
+    ) -> None:
+        super().__init__(network, name)
+        self.fib: Fib[Face] = Fib()
+        self.pit: Pit[Face] = Pit()
+        self.cs = ContentStore(cs_capacity)
+        self.service_time = service_time
+        self.queue = ServiceQueue(self.sim, name=f"{name}.proc")
+        self.interests_dropped_no_route = 0
+        self.data_dropped_unsolicited = 0
+
+    # ------------------------------------------------------------------
+    # Packet pipeline
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, face: Face) -> None:
+        self.packets_received += 1
+        self.queue.submit((packet, face), self.service_time, self._serve)
+
+    def _serve(self, item: Tuple[Packet, Face]) -> None:
+        packet, face = item
+        self._dispatch(packet, face)
+
+    def _dispatch(self, packet: Packet, face: Face) -> None:
+        if isinstance(packet, Interest):
+            self._handle_interest(packet, face)
+        elif isinstance(packet, Data):
+            self._handle_data(packet, face)
+        else:
+            raise TypeError(f"{self.name}: unexpected packet type {type(packet).__name__}")
+
+    def _handle_interest(self, interest: Interest, face: Face) -> None:
+        cached = self.cs.match(interest.name, self.sim.now)
+        if cached is not None:
+            self.send(face, cached)
+            return
+        action = self.pit.insert(
+            interest.name, face, interest.nonce, self.sim.now, interest.lifetime
+        )
+        if action is not InterestAction.FORWARD:
+            return
+        out_face = self._choose_upstream(interest.name, face)
+        if out_face is None:
+            self.interests_dropped_no_route += 1
+            return
+        self.send(out_face, interest)
+
+    def _choose_upstream(self, name: Name, arrival: Face) -> Optional[Face]:
+        """Best-route strategy: one deterministic upstream, not the arrival."""
+        candidates = self.fib.lookup(name)
+        candidates.discard(arrival)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda f: f.face_id)
+
+    def _handle_data(self, data: Data, face: Face) -> None:
+        downstream = self.pit.satisfy(data.name, self.sim.now)
+        if not downstream:
+            self.data_dropped_unsolicited += 1
+            return
+        self.cs.insert(data, self.sim.now)
+        for out_face in downstream:
+            if out_face is not face:
+                self.send(out_face, data)
+
+
+class NdnHost(Node):
+    """An end system speaking NDN: consumer and/or producer.
+
+    Consumers call :meth:`express_interest`; producers call :meth:`serve`.
+    A host hangs off exactly one access router (one face), mirroring the
+    testbed layout where all clients attach at edge routers.
+    """
+
+    def __init__(self, network: Network, name: str) -> None:
+        super().__init__(network, name)
+        self._pending: Dict[Name, List[DataHandler]] = {}
+        self._timeouts: Dict[Name, List[EventHandle]] = {}
+        self._producers: Fib[ProducerHandler] = Fib()
+        self.interests_sent = 0
+        self.data_received = 0
+        self.timeouts_fired = 0
+
+    @property
+    def access_face(self) -> Face:
+        if len(self.faces) != 1:
+            raise RuntimeError(
+                f"host {self.name} must have exactly one access face, has {len(self.faces)}"
+            )
+        return self.faces[0]
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def express_interest(
+        self,
+        name: "Name | str",
+        on_data: DataHandler,
+        lifetime: float = 4000.0,
+        on_timeout: Optional[TimeoutHandler] = None,
+    ) -> Interest:
+        """Send an Interest; ``on_data`` fires when matching Data returns.
+
+        If no Data arrives within ``lifetime`` ms, ``on_timeout`` (when
+        given) fires once and the pending callback is discarded.
+        """
+        name = Name.coerce(name)
+        interest = Interest(name=name, lifetime=lifetime, created_at=self.sim.now)
+        self._pending.setdefault(name, []).append(on_data)
+        if on_timeout is not None:
+            handle = self.sim.schedule(lifetime, self._fire_timeout, name, on_data, on_timeout)
+            self._timeouts.setdefault(name, []).append(handle)
+        self.interests_sent += 1
+        self.send(self.access_face, interest)
+        return interest
+
+    def _fire_timeout(
+        self, name: Name, on_data: DataHandler, on_timeout: TimeoutHandler
+    ) -> None:
+        callbacks = self._pending.get(name)
+        if callbacks and on_data in callbacks:
+            callbacks.remove(on_data)
+            if not callbacks:
+                del self._pending[name]
+            self.timeouts_fired += 1
+            on_timeout(name)
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def serve(self, prefix: "Name | str", handler: ProducerHandler) -> None:
+        """Register a producer handler for ``prefix``.
+
+        The handler maps an Interest to a Data packet (or None to stay
+        silent).  Route installation toward this host is done separately
+        via :func:`install_routes`.
+        """
+        self._producers.add(prefix, handler)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, face: Face) -> None:
+        """Consume Data for pending Interests; answer served prefixes."""
+        self.packets_received += 1
+        if isinstance(packet, Data):
+            self._consume(packet)
+        elif isinstance(packet, Interest):
+            self._produce(packet, face)
+        else:
+            raise TypeError(f"{self.name}: unexpected packet type {type(packet).__name__}")
+
+    def _consume(self, data: Data) -> None:
+        callbacks = self._pending.pop(data.name, [])
+        for handle in self._timeouts.pop(data.name, []):
+            handle.cancel()
+        if callbacks:
+            self.data_received += 1
+        for callback in callbacks:
+            callback(data)
+
+    def _produce(self, interest: Interest, face: Face) -> None:
+        handlers = self._producers.lookup(interest.name)
+        for handler in sorted(handlers, key=repr):
+            data = handler(interest)
+            if data is not None:
+                self.send(face, data)
+                return
+
+
+def install_routes(
+    network: Network,
+    prefix: "Name | str",
+    producer: "Node | str",
+    routers: Optional[List[NdnRouter]] = None,
+) -> None:
+    """Install shortest-path FIB entries for ``prefix`` toward ``producer``.
+
+    For every router (all :class:`NdnRouter` nodes by default), the entry
+    points at the face on the delay-weighted shortest path toward the
+    producer.  Unreachable routers are skipped.
+    """
+    prefix = Name.coerce(prefix)
+    producer_name = producer if isinstance(producer, str) else producer.name
+    if routers is None:
+        routers = [n for n in network.nodes.values() if isinstance(n, NdnRouter)]
+    for router in routers:
+        if router.name == producer_name:
+            continue
+        next_hop = network.next_hop(router.name, producer_name)
+        router.fib.add(prefix, router.face_toward(next_hop))

@@ -1,0 +1,77 @@
+"""NDN packet types: Interest and Data.
+
+Sizes follow the paper's regime: gaming packets are small ("almost all of
+the packets in a gaming application are under 200 bytes"), so header
+overheads matter and are modelled explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.names import Name
+from repro.packets import Packet
+
+__all__ = ["Interest", "Data", "INTEREST_HEADER_BYTES", "DATA_HEADER_BYTES"]
+
+#: Fixed per-packet overhead (type/TLV framing, nonce, lifetime).
+INTEREST_HEADER_BYTES = 24
+#: Fixed Data overhead (framing, signature block, freshness).
+DATA_HEADER_BYTES = 48
+
+_nonces = itertools.count(1)
+
+
+def _name_wire_bytes(name: Name) -> int:
+    """Wire footprint of an encoded name (1 byte TLV per component)."""
+    return sum(len(component) + 1 for component in name.components) + 1
+
+
+@dataclass
+class Interest(Packet):
+    """A consumer's query for named content.
+
+    ``nonce`` detects duplicate/looping Interests in the PIT; ``lifetime``
+    is the PIT-entry lifetime in ms.  The G-COPSS engine also tunnels
+    Multicast packets to RPs inside Interests (``payload`` carries the
+    encapsulated packet; see :mod:`repro.core.engine`).
+    """
+
+    name: Name = field(default_factory=Name)
+    nonce: int = field(default_factory=lambda: next(_nonces))
+    lifetime: float = 4000.0
+    payload: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        self.name = Name.coerce(self.name)
+        if self.size == 0:
+            payload_size = getattr(self.payload, "size", 0) if self.payload else 0
+            self.size = INTEREST_HEADER_BYTES + _name_wire_bytes(self.name) + payload_size
+        super().__post_init__()
+
+
+@dataclass
+class Data(Packet):
+    """A named content object returned along the PIT reverse path.
+
+    ``payload_size`` is the application payload length; ``freshness`` is
+    the Content Store staleness bound in ms (game updates age out almost
+    immediately — the paper notes "the cache ages out quickly in a gaming
+    scenario").  ``content`` optionally carries a Python object for
+    end-host consumption; it does not affect the wire size.
+    """
+
+    name: Name = field(default_factory=Name)
+    payload_size: int = 0
+    freshness: float = 1000.0
+    content: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        self.name = Name.coerce(self.name)
+        if self.payload_size < 0:
+            raise ValueError(f"negative payload size: {self.payload_size}")
+        if self.size == 0:
+            self.size = DATA_HEADER_BYTES + _name_wire_bytes(self.name) + self.payload_size
+        super().__post_init__()

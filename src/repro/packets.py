@@ -1,0 +1,36 @@
+"""Base packet type shared by every protocol family in the reproduction.
+
+NDN packets (:mod:`repro.ndn.packets`), COPSS/G-COPSS packets
+(:mod:`repro.core.packets`) and the IP baseline's datagrams
+(:mod:`repro.baselines.ip_server`) all derive from :class:`Packet` so the
+network fabric can account bytes uniformly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """Common base for all simulated packets.
+
+    ``size`` is the wire size in bytes and is what every link/load meter
+    accounts.  ``created_at`` is stamped by the publisher (simulated ms) and
+    is the reference point for update-latency measurements.  ``uid`` makes
+    every packet instance distinguishable in PIT/dedup tables even when the
+    payload is identical.
+    """
+
+    size: int = 0
+    created_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"packet size must be >= 0, got {self.size}")

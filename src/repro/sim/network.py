@@ -1,0 +1,245 @@
+"""Nodes, faces and links: the network fabric under every protocol stack.
+
+A :class:`Node` owns a set of :class:`Face` objects; each face is one end
+of a point-to-point :class:`Link` with a fixed propagation delay.  Sending
+a packet on a face schedules delivery at the peer node after the link
+delay, and the link accounts the bytes carried — the sum over all links is
+the paper's "aggregate network load".
+
+Nodes are protocol-agnostic: NDN routers, G-COPSS routers, game servers
+and player hosts all subclass :class:`Node` and implement
+:meth:`Node.receive`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.packets import Packet
+from repro.sim.engine import Simulator
+
+__all__ = ["Face", "Link", "Node", "Network"]
+
+
+class Face:
+    """One endpoint of a link, owned by a node.
+
+    Face ids are small integers local to the owning node, mirroring the
+    IPC-port-per-face layout of the G-COPSS router in the paper's Fig. 2.
+    """
+
+    __slots__ = ("node", "face_id", "link")
+
+    def __init__(self, node: "Node", face_id: int, link: "Link") -> None:
+        self.node = node
+        self.face_id = face_id
+        self.link = link
+
+    @property
+    def peer(self) -> "Node":
+        """The node at the other end of this face's link."""
+        return self.link.peer_of(self.node)
+
+    @property
+    def peer_face(self) -> "Face":
+        return self.link.face_of(self.peer)
+
+    def send(self, packet: Packet) -> None:
+        """Transmit ``packet`` toward the peer node."""
+        self.link.transmit(self.node, packet)
+
+    def __repr__(self) -> str:
+        return f"Face({self.node.name}#{self.face_id}->{self.peer.name})"
+
+
+class Link:
+    """Bidirectional point-to-point link with fixed propagation delay (ms).
+
+    Bandwidth is intentionally not modelled: the paper's microbenchmark
+    explicitly excludes "bandwidth and congestion related latency issues"
+    because they affect all candidate solutions equally.  Processing and
+    queueing happen inside nodes.
+    """
+
+    __slots__ = ("sim", "delay", "_ends", "bytes_carried", "packets_carried", "name")
+
+    def __init__(self, sim: Simulator, a: "Node", b: "Node", delay: float, name: str = "") -> None:
+        if delay < 0:
+            raise ValueError(f"link delay must be >= 0, got {delay}")
+        if a is b:
+            raise ValueError("cannot link a node to itself")
+        self.sim = sim
+        self.delay = delay
+        self.name = name or f"{a.name}<->{b.name}"
+        face_a = a._attach(self)
+        face_b = b._attach(self)
+        self._ends: Tuple[Tuple[Node, Face], Tuple[Node, Face]] = ((a, face_a), (b, face_b))
+        self.bytes_carried: int = 0
+        self.packets_carried: int = 0
+
+    def peer_of(self, node: "Node") -> "Node":
+        """The other endpoint of this link."""
+        (a, _), (b, _) = self._ends
+        if node is a:
+            return b
+        if node is b:
+            return a
+        raise ValueError(f"{node} is not an endpoint of {self}")
+
+    def face_of(self, node: "Node") -> Face:
+        for end_node, face in self._ends:
+            if end_node is node:
+                return face
+        raise ValueError(f"{node} is not an endpoint of {self}")
+
+    def transmit(self, sender: "Node", packet: Packet) -> None:
+        receiver = self.peer_of(sender)
+        self.bytes_carried += packet.size
+        self.packets_carried += 1
+        ingress_face = self.face_of(receiver)
+        self.sim.schedule(self.delay, receiver.receive, packet, ingress_face)
+
+    def __repr__(self) -> str:
+        return f"Link({self.name}, {self.delay}ms)"
+
+
+class Node:
+    """A network element: router, rendezvous point, server, broker or host.
+
+    Subclasses implement :meth:`receive`.  The base class manages faces and
+    offers :meth:`send` plus a per-node received-packet counter.
+    """
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.name = name
+        self.faces: Dict[int, Face] = {}
+        self._next_face_id = 0
+        self.packets_received = 0
+        network._register(self)
+
+    def _attach(self, link: Link) -> Face:
+        face = Face(self, self._next_face_id, link)
+        self.faces[self._next_face_id] = face
+        self._next_face_id += 1
+        return face
+
+    def face_toward(self, neighbor: "Node") -> Face:
+        """The local face whose link leads directly to ``neighbor``."""
+        for face in self.faces.values():
+            if face.peer is neighbor:
+                return face
+        raise ValueError(f"{self.name} has no face toward {neighbor.name}")
+
+    def send(self, face: Face, packet: Packet) -> None:
+        if face.node is not self:
+            raise ValueError(f"face {face} does not belong to {self.name}")
+        face.send(packet)
+
+    def receive(self, packet: Packet, face: Face) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class Network:
+    """Container for nodes and links, with routing helpers.
+
+    Keeps a :mod:`networkx` view of the topology (edge weight = propagation
+    delay) for shortest-path route computation.  Routes are cached per
+    (src, dst) pair; the cache is invalidated when topology changes.
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self._graph: Optional[nx.Graph] = None
+        self._path_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    def _register(self, node: Node) -> None:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name: {node.name}")
+        self.nodes[node.name] = node
+        self._invalidate()
+
+    def connect(self, a: "Node | str", b: "Node | str", delay: float) -> Link:
+        """Create a bidirectional link between two nodes (delay in ms)."""
+        node_a = self.nodes[a] if isinstance(a, str) else a
+        node_b = self.nodes[b] if isinstance(b, str) else b
+        link = Link(self.sim, node_a, node_b, delay)
+        self.links.append(link)
+        self._invalidate()
+        return link
+
+    def _invalidate(self) -> None:
+        self._graph = None
+        self._path_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        if self._graph is None:
+            graph = nx.Graph()
+            graph.add_nodes_from(self.nodes)
+            for link in self.links:
+                (a, _), (b, _) = link._ends
+                graph.add_edge(a.name, b.name, weight=link.delay, link=link)
+            self._graph = graph
+        return self._graph
+
+    def shortest_path(self, src: "Node | str", dst: "Node | str") -> List[str]:
+        """Delay-weighted shortest path as a list of node names."""
+        src_name = src if isinstance(src, str) else src.name
+        dst_name = dst if isinstance(dst, str) else dst.name
+        key = (src_name, dst_name)
+        if key not in self._path_cache:
+            self._path_cache[key] = nx.shortest_path(
+                self.graph, src_name, dst_name, weight="weight"
+            )
+        return self._path_cache[key]
+
+    def path_delay(self, src: "Node | str", dst: "Node | str") -> float:
+        path = self.shortest_path(src, dst)
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += self.graph.edges[a, b]["weight"]
+        return total
+
+    def next_hop(self, src: "Node | str", dst: "Node | str") -> Node:
+        """First node after ``src`` on the shortest path to ``dst``."""
+        path = self.shortest_path(src, dst)
+        if len(path) < 2:
+            raise ValueError(f"{src} and {dst} are the same node")
+        return self.nodes[path[1]]
+
+    def neighbors(self, node: "Node | str") -> Iterable[Node]:
+        name = node if isinstance(node, str) else node.name
+        return (self.nodes[n] for n in self.graph.neighbors(name))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate network load: bytes carried summed over every link."""
+        return sum(link.bytes_carried for link in self.links)
+
+    @property
+    def total_packets(self) -> int:
+        return sum(link.packets_carried for link in self.links)
+
+    def reset_counters(self) -> None:
+        for link in self.links:
+            link.bytes_carried = 0
+            link.packets_carried = 0
+
+    def for_each_node(self, fn: Callable[[Node], None]) -> None:
+        for node in self.nodes.values():
+            fn(node)

@@ -1,0 +1,199 @@
+"""Metric recorders used across the evaluation harness.
+
+Three shapes of data appear in the paper's evaluation:
+
+* latency distributions (Fig. 4's CDF, Table I/II/III means and confidence
+  intervals) — :class:`LatencyRecorder`;
+* per-update latency series with min/avg/max envelopes over packet-sequence
+  buckets (Fig. 5a–c) — :class:`SeriesRecorder`;
+* aggregate byte counts reported in GB (Table I/II, Fig. 6b) —
+  :class:`LoadMeter`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["LatencyRecorder", "SeriesRecorder", "LoadMeter", "summarize"]
+
+
+class LatencyRecorder:
+    """Accumulates scalar samples and reports distribution statistics."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: List[float] | None = None
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency sample: {value}")
+        self._samples.append(value)
+        self._sorted = None
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def _ensure_sorted(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        return self._ensure_sorted()[0]
+
+    @property
+    def maximum(self) -> float:
+        return self._ensure_sorted()[-1]
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        data = self._ensure_sorted()
+        if not data:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        if len(data) == 1:
+            return data[0]
+        rank = (q / 100) * (len(data) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi or data[lo] == data[hi]:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def stdev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(var)
+
+    def confidence_interval_95(self) -> float:
+        """Half-width of the 95% CI of the mean (normal approximation).
+
+        Table III reports means with 95% confidence intervals; the paper's
+        sample counts are large enough for the z-approximation.
+        """
+        if len(self._samples) < 2:
+            return 0.0
+        return 1.96 * self.stdev() / math.sqrt(len(self._samples))
+
+    def cdf_points(self, num_points: int = 200) -> List[Tuple[float, float]]:
+        """(value, cumulative-fraction) pairs for plotting a CDF."""
+        data = self._ensure_sorted()
+        if not data:
+            return []
+        if len(data) <= num_points:
+            return [(v, (i + 1) / len(data)) for i, v in enumerate(data)]
+        points = []
+        for i in range(num_points):
+            frac = (i + 1) / num_points
+            idx = min(len(data) - 1, max(0, int(round(frac * len(data))) - 1))
+            points.append((data[idx], (idx + 1) / len(data)))
+        return points
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below ``threshold``."""
+        data = self._ensure_sorted()
+        if not data:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        return bisect_left(data, threshold) / len(data)
+
+
+class SeriesRecorder:
+    """Bucketed (sequence -> min/avg/max) envelope, as drawn in Fig. 5.
+
+    Each sample is tagged with a monotonically growing sequence number
+    (packet index in the trace); samples are grouped into fixed-width
+    buckets and each bucket reports its min / mean / max.
+    """
+
+    def __init__(self, bucket_width: int = 1000, name: str = "series") -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.bucket_width = bucket_width
+        self.name = name
+        self._buckets: dict[int, List[float]] = {}
+
+    def record(self, sequence: int, value: float) -> None:
+        if sequence < 0:
+            raise ValueError(f"negative sequence: {sequence}")
+        self._buckets.setdefault(sequence // self.bucket_width, []).append(value)
+
+    def envelope(self) -> List[Tuple[int, float, float, float]]:
+        """Sorted (bucket_start_seq, min, mean, max) rows."""
+        rows = []
+        for bucket in sorted(self._buckets):
+            values = self._buckets[bucket]
+            rows.append(
+                (
+                    bucket * self.bucket_width,
+                    min(values),
+                    sum(values) / len(values),
+                    max(values),
+                )
+            )
+        return rows
+
+    @property
+    def count(self) -> int:
+        return sum(len(v) for v in self._buckets.values())
+
+
+class LoadMeter:
+    """Byte accumulator reported in the paper's GB units (10**9 bytes)."""
+
+    def __init__(self, name: str = "load") -> None:
+        self.name = name
+        self.bytes = 0
+        self.packets = 0
+
+    def add(self, nbytes: int, packets: int = 1) -> None:
+        if nbytes < 0 or packets < 0:
+            raise ValueError("load contributions must be non-negative")
+        self.bytes += nbytes
+        self.packets += packets
+
+    @property
+    def gigabytes(self) -> float:
+        return self.bytes / 1e9
+
+    def __repr__(self) -> str:
+        return f"LoadMeter({self.name!r}, {self.gigabytes:.3f} GB)"
+
+
+def summarize(recorder: LatencyRecorder) -> dict:
+    """One-line dict summary used by the experiment reporters."""
+    if recorder.count == 0:
+        return {"name": recorder.name, "count": 0}
+    return {
+        "name": recorder.name,
+        "count": recorder.count,
+        "mean": recorder.mean,
+        "min": recorder.minimum,
+        "max": recorder.maximum,
+        "p50": recorder.percentile(50),
+        "p95": recorder.percentile(95),
+        "p99": recorder.percentile(99),
+        "ci95": recorder.confidence_interval_95(),
+    }

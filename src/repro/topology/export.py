@@ -1,0 +1,74 @@
+"""Topology export helpers (Graphviz DOT).
+
+Lets users eyeball the evaluation topologies::
+
+    python - <<'PY'
+    from repro.core.engine import GCopssRouter
+    from repro.topology import build_backbone
+    from repro.topology.export import to_dot
+    built = build_backbone(lambda net, name: GCopssRouter(net, name))
+    print(to_dot(built.network, highlight=("core0", "core26", "core52")))
+    PY
+
+The output renders with ``dot -Tsvg`` / ``neato``; RPs, servers and
+brokers can be highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.network import Network
+
+__all__ = ["to_dot"]
+
+_ROLE_STYLES = {
+    "highlight": 'fillcolor="#d95f02", style=filled, fontcolor=white',
+    "router": 'fillcolor="#eeeeee", style=filled',
+    "host": 'shape=ellipse, fillcolor="#7fc8f8", style=filled',
+}
+
+
+def _is_host(node) -> bool:
+    # Hosts hang off exactly one face and are not routers by construction.
+    from repro.ndn.engine import NdnRouter
+
+    return not isinstance(node, NdnRouter)
+
+
+def to_dot(
+    network: Network,
+    highlight: Sequence[str] = (),
+    include_hosts: bool = False,
+    graph_name: str = "topology",
+) -> str:
+    """Render the network as an undirected Graphviz graph.
+
+    ``highlight`` names nodes to emphasize (RPs, servers, brokers);
+    ``include_hosts`` adds end systems (off by default — hundreds of
+    player hosts swamp a backbone drawing).  Edge labels carry the link
+    delay in ms.
+    """
+    highlighted = set(highlight)
+    lines = [f"graph {graph_name} {{", "  node [shape=box, fontsize=10];"]
+    for name in sorted(network.nodes):
+        node = network.nodes[name]
+        host = _is_host(node)
+        if host and not include_hosts:
+            continue
+        if name in highlighted:
+            style = _ROLE_STYLES["highlight"]
+        elif host:
+            style = _ROLE_STYLES["host"]
+        else:
+            style = _ROLE_STYLES["router"]
+        lines.append(f'  "{name}" [{style}];')
+    for link in network.links:
+        (a, _), (b, _) = link._ends
+        if not include_hosts and (_is_host(a) or _is_host(b)):
+            continue
+        lines.append(
+            f'  "{a.name}" -- "{b.name}" [label="{link.delay:g}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

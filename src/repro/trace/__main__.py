@@ -1,0 +1,137 @@
+"""Trace tooling CLI: generate, inspect and filter game traces.
+
+Usage::
+
+    python -m repro.trace generate --preset peak --updates 20000 -o peak.jsonl
+    python -m repro.trace stats peak.jsonl
+    python -m repro.trace filter-demo
+
+``generate`` writes a synthetic Counter-Strike-style trace to JSONL;
+``stats`` prints the Fig. 3-style characterization of a trace file;
+``filter-demo`` synthesizes a raw server capture and runs the paper's
+three-step filter pipeline over it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import render_table
+from repro.game.map import GameMap
+from repro.trace.filters import filter_raw_trace, synthesize_raw_capture
+from repro.trace.generator import (
+    CounterStrikeTraceGenerator,
+    full_trace_spec,
+    microbenchmark_spec,
+    peak_trace_spec,
+)
+from repro.trace.io import read_events, write_events
+from repro.trace.stats import TraceStatistics
+
+_PRESETS = {
+    "peak": lambda updates, seed: peak_trace_spec(
+        num_updates=updates or 100_000, seed=seed
+    ),
+    "full": lambda updates, seed: full_trace_spec(
+        scale=(updates / 1_686_905) if updates else 1.0, seed=seed
+    ),
+    "microbench": lambda updates, seed: microbenchmark_spec(
+        scale=(updates / 12_440) if updates else 1.0, seed=seed
+    ),
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> None:
+    game_map = GameMap(seed=args.seed)
+    spec = _PRESETS[args.preset](args.updates, args.seed)
+    placement = None
+    if args.preset == "microbench":
+        # The testbed layout: two players in every area (§V-A).
+        placement = {}
+        index = 0
+        for area in game_map.hierarchy.areas():
+            for _ in range(2):
+                placement[f"player{index:02d}"] = area
+                index += 1
+    generator = CounterStrikeTraceGenerator(game_map, spec, placement=placement)
+    events = generator.generate()
+    count = write_events(args.output, events)
+    print(f"wrote {count} events ({spec.num_players} players) to {args.output}")
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    events = read_events(args.trace)
+    game_map = GameMap(seed=args.seed)
+    placement = {}
+    # Reconstruct a placement view from the events (publisher -> most
+    # common publish area's parent is unknowable; use the generator's).
+    spec = peak_trace_spec(num_updates=1, seed=args.seed)
+    players = sorted({e.player for e in events})
+    spec_players = len(players)
+    generator = CounterStrikeTraceGenerator(
+        game_map,
+        peak_trace_spec(num_updates=1, seed=args.seed, num_players=spec_players),
+    )
+    stats = TraceStatistics.collect(events, game_map, generator.placement)
+    rows = [
+        ("players", stats.num_players),
+        ("updates", stats.num_updates),
+        ("mean inter-arrival (ms)", round(stats.mean_interarrival_ms, 3)),
+        ("sizes (B)", f"{stats.size_min}-{stats.size_max}"),
+        ("players/area", stats.area_envelopes()["players_per_area"]),
+        ("objects/area", stats.area_envelopes()["objects_per_area"]),
+        ("skew (max/mean)", round(stats.skew_ratio(), 2)),
+    ]
+    print(render_table(f"Trace statistics: {args.trace}", ("metric", "value"), rows))
+
+
+def _cmd_filter_demo(args: argparse.Namespace) -> None:
+    capture = synthesize_raw_capture(
+        num_players=args.players, num_probes=args.probes, seed=args.seed
+    )
+    report = filter_raw_trace(capture, server_addr="10.0.0.1")
+    rows = [
+        ("raw packets", report.total_packets),
+        ("step 1: server packets dropped", report.server_packets_dropped),
+        ("step 2: probe packets dropped", report.probe_packets_dropped),
+        ("step 3: unique players", len(report.players)),
+        ("kept update events", report.kept_packets),
+    ]
+    print(render_table("Paper filter pipeline (on a synthetic capture)", ("step", "value"), rows))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace", description="Game trace tooling."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic trace to JSONL")
+    p.add_argument("--preset", choices=sorted(_PRESETS), default="peak")
+    p.add_argument("--updates", type=int, default=None)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("stats", help="characterize a JSONL trace (Fig. 3)")
+    p.add_argument("trace")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("filter-demo", help="run the 3-step raw-capture filter")
+    p.add_argument("--players", type=int, default=50)
+    p.add_argument("--probes", type=int, default=30)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(fn=_cmd_filter_demo)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

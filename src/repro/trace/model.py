@@ -1,0 +1,33 @@
+"""Trace event records.
+
+The microbenchmark trace is "composed of publish records like
+{time, playerName, CD, Content}" (§V-A); :class:`UpdateEvent` is that
+record with the content replaced by its size and the target object id —
+the only properties the evaluation consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.names import Name
+
+__all__ = ["UpdateEvent"]
+
+
+@dataclass(frozen=True, order=True)
+class UpdateEvent:
+    """One publish record of a game trace."""
+
+    time_ms: float
+    player: str
+    cd: Name
+    object_id: int
+    size: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cd", Name.coerce(self.cd))
+        if self.time_ms < 0:
+            raise ValueError(f"negative event time: {self.time_ms}")
+        if self.size <= 0:
+            raise ValueError(f"update size must be positive: {self.size}")

@@ -1,0 +1,110 @@
+"""Workload characterization: the numbers behind Fig. 3c and Fig. 3d.
+
+Fig. 3c plots the (skewed) distribution of update counts across players;
+Fig. 3d plots players-per-area and objects-per-area.  The benchmark
+``benchmarks/test_fig3_workload.py`` prints both from a generated trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.game.map import GameMap
+from repro.names import Name
+from repro.trace.model import UpdateEvent
+
+__all__ = ["TraceStatistics"]
+
+
+@dataclass
+class TraceStatistics:
+    """Summary statistics of one trace over one map."""
+
+    num_players: int
+    num_updates: int
+    duration_ms: float
+    updates_per_player: Dict[str, int]
+    players_per_area: Dict[Name, int]
+    objects_per_area: Dict[Name, int]
+    updates_per_layer: Dict[int, Tuple[int, int]]  # depth -> (min, max) per object
+    size_min: int
+    size_max: int
+
+    @classmethod
+    def collect(
+        cls,
+        events: Sequence[UpdateEvent],
+        game_map: GameMap,
+        placement: Dict[str, Name],
+    ) -> "TraceStatistics":
+        if not events:
+            raise ValueError("cannot summarize an empty trace")
+        updates_per_player: Dict[str, int] = {p: 0 for p in placement}
+        per_object: Dict[int, int] = {}
+        for event in events:
+            updates_per_player[event.player] = updates_per_player.get(event.player, 0) + 1
+            per_object[event.object_id] = per_object.get(event.object_id, 0) + 1
+
+        players_per_area: Dict[Name, int] = {}
+        for area in placement.values():
+            players_per_area[area] = players_per_area.get(area, 0) + 1
+
+        objects_per_area = {
+            cd: len(oids) for cd, oids in game_map.objects_by_cd().items()
+        }
+
+        layer_counts: Dict[int, List[int]] = {}
+        for oid, count in per_object.items():
+            depth = game_map.hierarchy.area_of_leaf(game_map.area_of_object(oid)).depth
+            layer_counts.setdefault(depth, []).append(count)
+        updates_per_layer = {
+            depth: (min(counts), max(counts)) for depth, counts in layer_counts.items()
+        }
+
+        return cls(
+            num_players=len(placement),
+            num_updates=len(events),
+            duration_ms=events[-1].time_ms - events[0].time_ms,
+            updates_per_player=updates_per_player,
+            players_per_area=players_per_area,
+            objects_per_area=objects_per_area,
+            updates_per_layer=updates_per_layer,
+            size_min=min(e.size for e in events),
+            size_max=max(e.size for e in events),
+        )
+
+    # ------------------------------------------------------------------
+    # Fig. 3c: sorted per-player update counts (CDF-ready)
+    # ------------------------------------------------------------------
+    def player_update_cdf(self) -> List[Tuple[int, float]]:
+        counts = sorted(self.updates_per_player.values())
+        return [(c, (i + 1) / len(counts)) for i, c in enumerate(counts)]
+
+    def skew_ratio(self) -> float:
+        """Max/mean per-player update count — >1 means a skewed Fig. 3c."""
+        counts = list(self.updates_per_player.values())
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0
+
+    # ------------------------------------------------------------------
+    # Fig. 3d: per-area envelopes
+    # ------------------------------------------------------------------
+    def area_envelopes(self) -> Dict[str, Tuple[int, int]]:
+        """(min, max) players and objects per area — the Fig. 3d bars."""
+        return {
+            "players_per_area": (
+                min(self.players_per_area.values()),
+                max(self.players_per_area.values()),
+            ),
+            "objects_per_area": (
+                min(self.objects_per_area.values()),
+                max(self.objects_per_area.values()),
+            ),
+        }
+
+    @property
+    def mean_interarrival_ms(self) -> float:
+        if self.num_updates < 2:
+            return float("nan")
+        return self.duration_ms / (self.num_updates - 1)

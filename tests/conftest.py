@@ -1,0 +1,17 @@
+"""Shared test configuration.
+
+Hypothesis deadlines are disabled: property tests here drive real
+discrete-event simulations whose wall-clock time varies with machine
+load (benchmarks often run concurrently), and flaky DeadlineExceeded
+reports would drown real failures.  Example counts stay bounded per
+test, so the suite remains fast.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,67 @@
+"""Backbone topology variants and spec sensitivity."""
+
+import networkx as nx
+import pytest
+
+from repro.core.engine import GCopssRouter
+from repro.topology.backbone import BackboneSpec, build_backbone
+
+
+def factory(net, name):
+    return GCopssRouter(net, name)
+
+
+class TestSpecVariants:
+    @pytest.mark.parametrize("num_core", [10, 40, 79])
+    def test_any_core_count_connected(self, num_core):
+        built = build_backbone(factory, BackboneSpec(num_core=num_core))
+        assert nx.is_connected(built.network.graph)
+        assert len(built.core_routers) == num_core
+
+    def test_degree_target_shapes_density(self):
+        sparse = build_backbone(factory, BackboneSpec(core_degree_target=2.2, seed=7))
+        dense = build_backbone(factory, BackboneSpec(core_degree_target=5.0, seed=7))
+
+        def core_edges(built):
+            names = {n.name for n in built.core_routers}
+            return built.network.graph.subgraph(names).number_of_edges()
+
+        assert core_edges(dense) > core_edges(sparse)
+
+    def test_fixed_edges_per_core(self):
+        built = build_backbone(factory, BackboneSpec(edges_per_core=(2, 2)))
+        assert len(built.edge_routers) == 2 * 79
+
+    def test_delay_range_respected(self):
+        spec = BackboneSpec(core_delay_range_ms=(3.0, 8.0))
+        built = build_backbone(factory, spec)
+        cores = {n.name for n in built.core_routers}
+        for link in built.network.links:
+            a, b = (end[0].name for end in link._ends)
+            if a in cores and b in cores:
+                assert 3.0 <= link.delay <= 8.0
+
+    def test_different_seeds_differ(self):
+        a = {l.name for l in build_backbone(factory, BackboneSpec(seed=1)).network.links}
+        b = {l.name for l in build_backbone(factory, BackboneSpec(seed=2)).network.links}
+        assert a != b
+
+    def test_diameter_in_backbone_regime(self):
+        """Path delays must land in the tens-of-ms regime the paper's
+        latency results assume (Rocketfuel link weights as ms)."""
+        built = build_backbone(factory)
+        graph = built.network.graph
+        cores = sorted(n.name for n in built.core_routers)
+        sample = [
+            nx.shortest_path_length(graph, cores[0], c, weight="weight")
+            for c in cores[1::10]
+        ]
+        assert max(sample) < 120.0
+        assert min(s for s in sample if s > 0) >= 1.0
+
+    def test_two_builds_share_no_state(self):
+        a = build_backbone(factory)
+        b = build_backbone(factory)
+        assert a.network is not b.network
+        a.network.reset_counters()  # must not raise or affect b
+        assert b.network.total_bytes == 0

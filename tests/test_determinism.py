@@ -1,0 +1,60 @@
+"""Determinism guarantees: identical inputs give identical runs."""
+
+import pytest
+
+from repro.experiments.table1_rp_count import make_peak_workload
+from repro.game import GameMap, MovementModel
+from repro.trace import CounterStrikeTraceGenerator, peak_trace_spec
+
+
+class TestWorkloadDeterminism:
+    def test_trace_identical_across_generators(self):
+        a = CounterStrikeTraceGenerator(GameMap(seed=3), peak_trace_spec(num_updates=800, seed=9))
+        b = CounterStrikeTraceGenerator(GameMap(seed=3), peak_trace_spec(num_updates=800, seed=9))
+        assert a.generate() == b.generate()
+        assert a.placement == b.placement
+
+    def test_trace_differs_across_seeds(self):
+        a = CounterStrikeTraceGenerator(GameMap(seed=3), peak_trace_spec(num_updates=200, seed=9))
+        b = CounterStrikeTraceGenerator(GameMap(seed=3), peak_trace_spec(num_updates=200, seed=10))
+        assert a.generate() != b.generate()
+
+    def test_movement_schedule_identical(self):
+        game_map = GameMap(seed=3)
+        placement = game_map.place_players(62, per_area=(2, 2))
+        a = MovementModel(game_map.hierarchy, seed=4).schedule(placement, 60 * 60_000)
+        b = MovementModel(game_map.hierarchy, seed=4).schedule(placement, 60 * 60_000)
+        assert a == b
+
+
+class TestSimulationDeterminism:
+    def test_full_scenario_bitwise_repeatable(self):
+        from repro.experiments.common import run_gcopss_backbone
+
+        game_map, generator, events = make_peak_workload(250, seed=5)
+        a = run_gcopss_backbone(events, game_map, generator.placement, num_rps=2)
+        b = run_gcopss_backbone(events, game_map, generator.placement, num_rps=2)
+        assert list(a.latency.samples) == list(b.latency.samples)
+        assert a.network_bytes == b.network_bytes
+        assert a.extras["sim_events"] == b.extras["sim_events"]
+
+    def test_auto_balancing_repeatable(self):
+        from repro.experiments.common import run_gcopss_backbone
+
+        game_map, generator, events = make_peak_workload(600, seed=5)
+        a = run_gcopss_backbone(
+            events, game_map, generator.placement, num_rps=1, auto_balance=True
+        )
+        b = run_gcopss_backbone(
+            events, game_map, generator.placement, num_rps=1, auto_balance=True
+        )
+        assert a.extras["splits"] == b.extras["splits"]
+        assert list(a.latency.samples) == list(b.latency.samples)
+
+    def test_flow_accounting_repeatable(self):
+        from repro.experiments.table2_hybrid import run_table2
+
+        a = run_table2(sample=0.0005)
+        b = run_table2(sample=0.0005)
+        assert a.gcopss.network_bytes == b.gcopss.network_bytes
+        assert a.hybrid.latency_sum_ms == b.hybrid.latency_sum_ms

@@ -1,0 +1,141 @@
+"""Tests for closed-form flow accounting, including DES agreement."""
+
+import networkx as nx
+import pytest
+
+from repro.sim.flows import FlowAccountant
+
+
+def line_graph(n=4, weight=2.0):
+    graph = nx.Graph()
+    for i in range(n - 1):
+        graph.add_edge(f"n{i}", f"n{i+1}", weight=weight)
+    return graph
+
+
+def star_graph():
+    graph = nx.Graph()
+    for i in range(4):
+        graph.add_edge("hub", f"leaf{i}", weight=1.0)
+    return graph
+
+
+class TestPaths:
+    def test_hop_count_and_delay(self):
+        flows = FlowAccountant(line_graph())
+        assert flows.hop_count("n0", "n3") == 3
+        assert flows.path_delay("n0", "n3") == pytest.approx(6.0)
+
+    def test_unicast_bytes(self):
+        flows = FlowAccountant(line_graph())
+        assert flows.unicast_bytes("n0", "n3", 100) == 300
+        assert flows.unicast_bytes("n0", "n0", 100) == 0
+
+    def test_weighted_path_choice(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "c", weight=10.0)
+        graph.add_edge("a", "b", weight=1.0)
+        graph.add_edge("b", "c", weight=1.0)
+        flows = FlowAccountant(graph)
+        assert flows.path("a", "c") == ["a", "b", "c"]
+
+
+class TestMulticastTree:
+    def test_star_tree_shares_nothing(self):
+        flows = FlowAccountant(star_graph())
+        tree = flows.multicast_tree("hub", ["leaf0", "leaf1", "leaf2"])
+        assert len(tree) == 3
+
+    def test_line_tree_shares_prefix(self):
+        flows = FlowAccountant(line_graph())
+        tree = flows.multicast_tree("n0", ["n2", "n3"])
+        # Path to n3 contains path to n2: union is just 3 edges.
+        assert len(tree) == 3
+
+    def test_root_only_receiver_excluded(self):
+        flows = FlowAccountant(line_graph())
+        assert flows.multicast_tree("n0", ["n0"]) == frozenset()
+
+    def test_multicast_bytes(self):
+        flows = FlowAccountant(line_graph())
+        assert flows.multicast_bytes("n0", ["n2", "n3"], 10) == 30
+
+    def test_multicast_cheaper_than_unicast_fanout(self):
+        flows = FlowAccountant(line_graph(6))
+        receivers = [f"n{i}" for i in range(1, 6)]
+        unicast = sum(flows.unicast_bytes("n0", r, 100) for r in receivers)
+        multicast = flows.multicast_bytes("n0", receivers, 100)
+        assert multicast < unicast
+
+    def test_tree_cached(self):
+        flows = FlowAccountant(line_graph())
+        t1 = flows.multicast_tree("n0", ["n3", "n2"])
+        t2 = flows.multicast_tree("n0", ["n2", "n3"])
+        assert t1 is t2  # frozenset receiver key
+
+    def test_multicast_delay_per_receiver(self):
+        flows = FlowAccountant(line_graph())
+        delays = flows.multicast_delay("n0", ["n1", "n3"])
+        assert delays["n1"] == pytest.approx(2.0)
+        assert delays["n3"] == pytest.approx(6.0)
+
+
+class TestDesAgreement:
+    def test_flow_load_matches_des_unicast(self):
+        """The DES fabric and the flow accountant must agree on bytes
+        carried for the same route."""
+        from repro.packets import Packet
+        from repro.sim.network import Network, Node
+
+        class Forwarder(Node):
+            def receive(self, packet, face):
+                if packet.dst == self.name:  # type: ignore[attr-defined]
+                    return
+                nxt = self.network.next_hop(self.name, packet.dst)  # type: ignore[attr-defined]
+                self.send(self.face_toward(nxt), packet)
+
+        class Dgram(Packet):
+            def __init__(self, size, dst):
+                super().__init__(size=size)
+                self.dst = dst
+
+        net = Network()
+        nodes = [Forwarder(net, f"n{i}") for i in range(4)]
+        for i in range(3):
+            net.connect(nodes[i], nodes[i + 1], 2.0)
+
+        packet = Dgram(123, "n3")
+        nodes[0].receive(packet, None)  # type: ignore[arg-type]
+        net.sim.run()
+
+        flows = FlowAccountant(net.graph)
+        assert net.total_bytes == flows.unicast_bytes("n0", "n3", 123)
+
+    def test_flow_delay_matches_des_delivery_time(self):
+        from repro.packets import Packet
+        from repro.sim.network import Network, Node
+
+        arrivals = {}
+
+        class Forwarder(Node):
+            def receive(self, packet, face):
+                if packet.dst == self.name:  # type: ignore[attr-defined]
+                    arrivals[self.name] = self.sim.now
+                    return
+                nxt = self.network.next_hop(self.name, packet.dst)  # type: ignore[attr-defined]
+                self.send(self.face_toward(nxt), packet)
+
+        class Dgram(Packet):
+            def __init__(self, dst):
+                super().__init__(size=1)
+                self.dst = dst
+
+        net = Network()
+        nodes = [Forwarder(net, f"n{i}") for i in range(4)]
+        for i in range(3):
+            net.connect(nodes[i], nodes[i + 1], 1.5)
+        nodes[0].receive(Dgram("n3"), None)  # type: ignore[arg-type]
+        net.sim.run()
+
+        flows = FlowAccountant(net.graph)
+        assert arrivals["n3"] == pytest.approx(flows.path_delay("n0", "n3"))

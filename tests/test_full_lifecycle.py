@@ -1,0 +1,194 @@
+"""Capstone integration test: a full game session end to end.
+
+One scenario exercising every §III/§IV mechanism together: players join
+with hierarchical subscriptions, publish under load, a hot RP splits
+(automatically) without losing an update, a player teleports and fetches
+snapshots from a broker, an offline player catches up, and everyone
+leaves cleanly.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CyclicSnapshotReceiver,
+    GCopssHost,
+    GCopssNetworkBuilder,
+    GCopssRouter,
+    RpLoadBalancer,
+    RpTable,
+    SnapshotBroker,
+)
+from repro.core.balancer import default_refiner
+from repro.core.offline import OfflineGuardian, ReconnectFetcher
+from repro.core.snapshot import group_cd, snapshot_name
+from repro.game import GameMap, Player
+from repro.names import Name
+from repro.ndn.engine import install_routes
+from repro.sim.network import Network
+
+
+@pytest.fixture(scope="module")
+def session():
+    """Build the world once; the test steps share its state."""
+    game_map = GameMap(hierarchy=None, objects_per_area=(8, 12), seed=5)
+    net = Network()
+    routers = [GCopssRouter(net, f"R{i}") for i in range(6)]
+    for i in range(6):
+        net.connect(routers[i], routers[(i + 1) % 6], 1.0)
+    net.connect(routers[0], routers[3], 1.0)
+
+    table = RpTable()
+    for piece in ("/1", "/2", "/3", "/4", "/5", "/0"):
+        table.assign(piece, "R0")
+
+    hosts = {}
+    areas = ["/1/1", "/1/2", "/2/1", "/3/3", "/1", "/"]
+    for i, area in enumerate(areas):
+        host = GCopssHost(net, f"p{i}")
+        net.connect(host, routers[i % 6], 0.5)
+        hosts[host.name] = (host, area)
+
+    broker = SnapshotBroker(net, "broker", objects_by_cd=game_map.objects_by_cd())
+    net.connect(broker, routers[4], 0.5)
+    for cd in broker.objects:
+        table.assign(group_cd(cd), "R4")
+
+    guardian = OfflineGuardian(net, "guardian")
+    net.connect(guardian, routers[5], 0.5)
+
+    GCopssNetworkBuilder(net, table).install()
+    broker.attach_group_hooks(routers[4])
+    broker.start()
+    broker.preseed(lambda cd, oid: 10, (29, 87), random.Random(1))
+    for cd in broker.objects:
+        install_routes(net, snapshot_name(cd, 0).parent, broker)
+    install_routes(net, Name(["offline"]), guardian)
+
+    players = {}
+    for name, (host, area) in hosts.items():
+        player = Player(host, game_map, area)
+        player.join()
+        players[name] = player
+    net.sim.run()
+
+    balancer = RpLoadBalancer(
+        routers[0],
+        candidates=[f"R{i}" for i in range(6)],
+        queue_threshold=6,
+        refiner=default_refiner(game_map.hierarchy),
+        cooldown=100.0,
+        rng=random.Random(2),
+    )
+    return {
+        "net": net,
+        "map": game_map,
+        "routers": routers,
+        "players": players,
+        "broker": broker,
+        "guardian": guardian,
+        "balancer": balancer,
+    }
+
+
+def test_full_session(session):
+    net = session["net"]
+    game_map = session["map"]
+    players = session["players"]
+    balancer = session["balancer"]
+    guardian = session["guardian"]
+
+    # ------------------------------------------------------------------
+    # Phase 1: heavy play overloads the single RP; the balancer splits it
+    # and no update is lost.
+    # ------------------------------------------------------------------
+    received = {name: set() for name in players}
+    for name, player in players.items():
+        player.host.on_update.append(
+            lambda h, p, name=name: received[name].add(p.sequence)
+        )
+
+    publisher = players["p0"]  # soldier in /1/1
+    visible = game_map.visible_objects("/1/1")
+    rng = random.Random(3)
+    total = 120
+    t0 = net.sim.now
+    for i in range(total):
+        net.sim.schedule_at(
+            t0 + 1.0 + i * 0.8,
+            lambda i=i: publisher.publish_update(
+                rng.choice(visible), payload_size=80, sequence=i
+            ),
+        )
+    net.sim.run()
+
+    assert balancer.splits_performed >= 1, "the hot RP never split"
+    # Ground truth delivery per subscriber.
+    for name, player in players.items():
+        if player is publisher:
+            continue
+        expected = set()
+        for i in range(total):
+            pass  # membership computed below per event
+    # Recompute expectations from the publisher's actual publish targets.
+    rng_check = random.Random(3)
+    event_cds = [
+        game_map.area_of_object(rng_check.choice(visible)) for _ in range(total)
+    ]
+    for name, player in players.items():
+        if player is publisher:
+            continue
+        expected = {
+            i
+            for i, cd in enumerate(event_cds)
+            if cd in game_map.hierarchy.visible_leaf_cds(player.area)
+        }
+        assert received[name] == expected, f"{name} diverged"
+
+    # ------------------------------------------------------------------
+    # Phase 2: a player teleports and pulls snapshots via cyclic multicast.
+    # ------------------------------------------------------------------
+    mover = players["p3"]  # from /3/3
+    needed_cds = mover.move_to("/2")
+    assert needed_cds  # zone -> foreign region needs downloads
+    needed = {cd: game_map.objects_in(cd) for cd in sorted(needed_cds)}
+    done = []
+    CyclicSnapshotReceiver(mover.host, needed, on_complete=done.append)
+    net.sim.run()
+    assert done and done[0].objects_received == sum(len(v) for v in needed.values())
+
+    # ------------------------------------------------------------------
+    # Phase 3: a player drops offline; the guardian buffers; catch-up works.
+    # ------------------------------------------------------------------
+    sleeper = players["p1"]
+    guarded_cds = game_map.hierarchy.subscriptions_for(sleeper.area)
+    sleeper.leave()
+    guardian.register("p1", guarded_cds)
+    net.sim.run()
+    satellite_object = game_map.objects_in("/0")[0]  # visible to everyone
+    for i in range(5):
+        publisher.publish_update(satellite_object, payload_size=60, sequence=1000 + i)
+    net.sim.run()
+    assert len(guardian.backlog_of("p1")) == 5
+    caught = []
+    ReconnectFetcher(sleeper.host, "p1", on_complete=caught.append)
+    net.sim.run()
+    assert not caught[0].failed
+    assert len(caught[0].updates) == 5
+    sleeper.join()
+    guardian.release("p1")
+    net.sim.run()
+
+    # ------------------------------------------------------------------
+    # Phase 4: everyone leaves; the network quiesces with no stray state.
+    # ------------------------------------------------------------------
+    for player in players.values():
+        player.leave()
+    net.sim.run(until=net.sim.now + 2000)  # let leave lingers expire
+    broker_cds = set(session["broker"].objects)
+    for router in session["routers"]:
+        remaining = router.st.all_cds()
+        # Only the broker's own area subscriptions may remain.
+        for cd in remaining:
+            assert cd in broker_cds, f"{router.name} kept stray state for {cd}"

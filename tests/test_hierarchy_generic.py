@@ -1,0 +1,121 @@
+"""Generic-map tests: hierarchies deeper or flatter than the paper's."""
+
+import pytest
+
+from repro.core.hierarchy import AIRSPACE, MapHierarchy, MoveType
+from repro.game import GameMap, MovementModel
+from repro.names import Name, ROOT
+
+
+class TestFourLayerMap:
+    """World -> continents -> regions -> zones (the paper: 'G-COPSS in
+    fact allows map designers to divide the map into arbitrary layers')."""
+
+    @pytest.fixture
+    def deep(self):
+        return MapHierarchy([2, 3, 2])
+
+    def test_counts(self, deep):
+        assert deep.num_layers == 4
+        # areas: 1 + 2 + 6 + 12 = 21 = leaf CDs.
+        assert len(deep.areas()) == 21
+        assert len(deep.leaf_cds()) == 21
+
+    def test_bottom_player_subscriptions(self, deep):
+        subs = deep.subscriptions_for("/1/2/1")
+        assert subs == frozenset(
+            {
+                Name.parse("/1/2/1"),
+                Name.parse(f"/1/2/{AIRSPACE}"),
+                Name.parse(f"/1/{AIRSPACE}"),
+                Name.parse(f"/{AIRSPACE}"),
+            }
+        )
+
+    def test_mid_layer_aggregation(self, deep):
+        subs = deep.subscriptions_for("/1/2")
+        assert Name.parse("/1/2") in subs  # whole subtree
+        assert Name.parse(f"/1/{AIRSPACE}") in subs
+        assert Name.parse(f"/{AIRSPACE}") in subs
+
+    def test_move_classification_deep(self, deep):
+        # Paper-named categories only exist for the bottom two layers;
+        # deeper lateral moves are OTHER.
+        assert deep.classify_move("/1", "/2") is MoveType.OTHER
+        assert deep.classify_move("/1/1/1", "/1/1/2") is MoveType.ZONE_SAME_REGION
+        assert deep.classify_move("/1/1", "/1/2") is MoveType.REGION_TO_REGION
+        assert deep.classify_move("/1/1/1", "/1/1") is MoveType.ZONE_TO_REGION
+        assert deep.classify_move("/2", "/2/3") is MoveType.TO_LOWER_LAYER
+
+    def test_snapshot_set_difference_still_consistent(self, deep):
+        for src, dst in [("/1/1/1", "/2"), ("/2/3", "/1")]:
+            needed = deep.snapshot_cds_for_move(src, dst)
+            assert needed == deep.visible_leaf_cds(dst) - deep.visible_leaf_cds(src)
+
+    def test_movement_model_works_on_deep_maps(self, deep):
+        model = MovementModel(deep, seed=1)
+        position = Name.parse("/1/2/1")
+        for _ in range(200):
+            position = model.choose_destination(position)
+            assert deep.is_area(position)
+
+
+class TestSingleLayerMap:
+    def test_two_zones_world(self):
+        flat = MapHierarchy([2])
+        assert len(flat.leaf_cds()) == 3  # /1, /2 and the world airspace
+        assert flat.subscriptions_for("/1") == frozenset(
+            {Name.parse("/1"), Name.parse(f"/{AIRSPACE}")}
+        )
+
+    def test_single_zone_degenerate_movement(self):
+        lone = MapHierarchy([1])
+        model = MovementModel(lone, seed=2)
+        # Only up/down between the world and its single zone.
+        for src in ("/1", "/"):
+            dst = model.choose_destination(src)
+            assert lone.is_area(dst)
+            assert dst != Name.coerce(src)
+
+
+class TestGameMapOnGenericHierarchies:
+    def test_objects_per_area_on_deep_map(self):
+        game_map = GameMap(hierarchy=MapHierarchy([2, 2, 2]), objects_per_area=(5, 9))
+        for cd in game_map.hierarchy.leaf_cds():
+            assert 5 <= len(game_map.objects_in(cd)) <= 9
+
+    def test_visibility_covers_everything_from_root(self):
+        game_map = GameMap(hierarchy=MapHierarchy([3, 2]), objects_per_area=(2, 4))
+        assert set(game_map.visible_objects("/")) == set(
+            oid
+            for oids in game_map.objects_by_cd().values()
+            for oid in oids
+        )
+
+
+class TestMutualVisibilityProperty:
+    """Paper §III-B: "players are able to see all the updates below and
+    vice versa" — an ancestor-area player and a descendant-area player
+    always see each other's publications."""
+
+    @pytest.mark.parametrize("branching", [[5, 5], [2, 3, 2], [4]])
+    def test_ancestor_descendant_mutual_visibility(self, branching):
+        hierarchy = MapHierarchy(branching)
+        for area in hierarchy.areas():
+            for ancestor in area.ancestors():
+                if not hierarchy.is_area(ancestor):
+                    continue
+                above = hierarchy.visible_leaf_cds(ancestor)
+                below = hierarchy.visible_leaf_cds(area)
+                # The one above sees everything the one below publishes...
+                assert hierarchy.leaf_cd(area) in above
+                # ...and the one below sees the flyer above.
+                assert hierarchy.leaf_cd(ancestor) in below
+
+    @pytest.mark.parametrize("branching", [[5, 5], [2, 3, 2]])
+    def test_siblings_do_not_see_each_other(self, branching):
+        hierarchy = MapHierarchy(branching)
+        bottom = hierarchy.areas(hierarchy.max_depth)
+        a, b = bottom[0], bottom[-1]
+        assert hierarchy.leaf_cd(b) not in hierarchy.visible_leaf_cds(a)
+        assert hierarchy.leaf_cd(a) not in hierarchy.visible_leaf_cds(b)

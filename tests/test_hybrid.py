@@ -1,0 +1,127 @@
+"""Tests for the hybrid COPSS+IP mapper (paper §III-D)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hybrid import HybridMapper
+from repro.names import Name
+
+
+class TestMapping:
+    def test_group_is_stable(self):
+        mapper = HybridMapper(num_groups=6)
+        assert mapper.group_of("/1/2") == mapper.group_of("/1/2")
+
+    def test_high_level_hashing_aggregates_a_region(self):
+        # Depth-1 hashing: everything under /1 shares one group, so a
+        # message to /1/1/1 reaches subscribers of /1/1 and /1 (§III-D).
+        mapper = HybridMapper(num_groups=64, hash_depth=1)
+        assert mapper.group_of("/1") == mapper.group_of("/1/1") == mapper.group_of("/1/1/1")
+
+    def test_different_regions_can_differ(self):
+        mapper = HybridMapper(num_groups=64, hash_depth=1)
+        groups = {mapper.group_of(f"/{i}") for i in range(1, 6)}
+        assert len(groups) > 1
+
+    def test_group_in_range(self):
+        mapper = HybridMapper(num_groups=6)
+        for i in range(20):
+            assert 0 <= mapper.group_of(f"/{i}/x") < 6
+
+    def test_subscription_above_hash_depth_joins_all_groups(self):
+        mapper = HybridMapper(num_groups=4, hash_depth=1)
+        assert mapper.groups_for_subscription(Name()) == {0, 1, 2, 3}
+
+    def test_subscription_at_or_below_depth_joins_one(self):
+        mapper = HybridMapper(num_groups=4, hash_depth=1)
+        assert len(mapper.groups_for_subscription("/1/2")) == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HybridMapper(num_groups=0)
+        with pytest.raises(ValueError):
+            HybridMapper(num_groups=4, hash_depth=-1)
+
+
+class TestEdgeState:
+    def test_subscribe_joins_groups(self):
+        mapper = HybridMapper(num_groups=8)
+        mapper.subscribe("edge1", ["/1/2", "/0"])
+        assert mapper.group_members(mapper.group_of("/1/2")) == ["edge1"]
+
+    def test_unsubscribe_leaves_groups(self):
+        mapper = HybridMapper(num_groups=8)
+        mapper.subscribe("edge1", ["/1/2"])
+        mapper.unsubscribe("edge1", ["/1/2"])
+        assert mapper.group_members(mapper.group_of("/1/2")) == []
+
+    def test_set_subscriptions_replaces(self):
+        mapper = HybridMapper(num_groups=64)
+        mapper.subscribe("edge1", ["/1"])
+        mapper.set_subscriptions("edge1", ["/2"])
+        assert not mapper.edge_wants("edge1", "/1/1")
+        assert mapper.edge_wants("edge1", "/2/9")
+
+    def test_edge_wants_hierarchical(self):
+        mapper = HybridMapper(num_groups=8)
+        mapper.subscribe("edge1", ["/1"])
+        assert mapper.edge_wants("edge1", "/1/2/3")
+        assert not mapper.edge_wants("edge1", "/2")
+
+
+class TestDelivery:
+    def test_wanted_vs_filtered_classification(self):
+        mapper = HybridMapper(num_groups=1)  # everything shares one group
+        mapper.subscribe("edgeA", ["/1"])
+        mapper.subscribe("edgeB", ["/2"])
+        wanted, filtered = mapper.deliver("/1/5")
+        assert wanted == ["edgeA"]
+        assert filtered == ["edgeB"]
+
+    def test_waste_ratio(self):
+        mapper = HybridMapper(num_groups=1)
+        mapper.subscribe("edgeA", ["/1"])
+        mapper.subscribe("edgeB", ["/2"])
+        mapper.deliver("/1/5")
+        assert mapper.waste_ratio == pytest.approx(0.5)
+
+    def test_more_groups_less_waste(self):
+        def waste_with(groups):
+            mapper = HybridMapper(num_groups=groups)
+            for i in range(1, 6):
+                mapper.subscribe(f"edge{i}", [f"/{i}"])
+            for i in range(1, 6):
+                for _ in range(10):
+                    mapper.deliver(f"/{i}/x")
+            return mapper.filtered_deliveries
+
+        assert waste_with(64) <= waste_with(1)
+
+    def test_fully_aggregated_subscription_never_filtered(self):
+        mapper = HybridMapper(num_groups=4)
+        mapper.subscribe("edge1", [Name()])  # subscribes to everything
+        for cd in ("/1/1", "/2/5", "/0"):
+            wanted, filtered = mapper.deliver(cd)
+            assert wanted == ["edge1"]
+            assert filtered == []
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["0", "1", "2", "3"]), min_size=1, max_size=3).map(
+                Name
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_subscribed_edge_always_reached(self, cds):
+        """Correctness invariant: group mapping may over-deliver but never
+        under-deliver."""
+        mapper = HybridMapper(num_groups=3, hash_depth=1)
+        for i, cd in enumerate(cds):
+            mapper.subscribe(f"edge{i}", [cd])
+        for i, cd in enumerate(cds):
+            publication = cd / "leaf"
+            wanted, _ = mapper.deliver(publication)
+            assert f"edge{i}" in wanted

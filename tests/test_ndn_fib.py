@@ -1,0 +1,124 @@
+"""Tests for the longest-prefix-match FIB."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.names import Name, ROOT
+from repro.ndn.fib import Fib
+
+
+class TestLpm:
+    def test_exact_match(self):
+        fib = Fib()
+        fib.add("/a/b", "f1")
+        assert fib.lookup("/a/b") == {"f1"}
+
+    def test_longest_prefix_wins(self):
+        fib = Fib()
+        fib.add("/a", "short")
+        fib.add("/a/b", "long")
+        assert fib.lookup("/a/b/c") == {"long"}
+        assert fib.lookup("/a/x") == {"short"}
+
+    def test_no_match(self):
+        fib = Fib()
+        fib.add("/a", "f")
+        assert fib.lookup("/b") == set()
+        assert fib.longest_prefix_match("/b") is None
+
+    def test_root_entry_is_default_route(self):
+        fib = Fib()
+        fib.add(ROOT, "default")
+        assert fib.lookup("/anything/at/all") == {"default"}
+
+    def test_multiple_faces_per_prefix(self):
+        fib = Fib()
+        fib.add("/a", "f1")
+        fib.add("/a", "f2")
+        assert fib.lookup("/a") == {"f1", "f2"}
+
+    def test_component_boundaries(self):
+        fib = Fib()
+        fib.add("/sports/foo", "f")
+        assert fib.lookup("/sports/football") == set()
+
+    def test_match_returns_matched_prefix(self):
+        fib = Fib()
+        fib.add("/a/b", "f")
+        prefix, faces = fib.longest_prefix_match("/a/b/c/d")
+        assert prefix == Name.parse("/a/b")
+
+
+class TestMutation:
+    def test_remove_face(self):
+        fib = Fib()
+        fib.add("/a", "f1")
+        fib.add("/a", "f2")
+        fib.remove("/a", "f1")
+        assert fib.lookup("/a") == {"f2"}
+
+    def test_remove_last_face_drops_entry(self):
+        fib = Fib()
+        fib.add("/a", "f1")
+        fib.remove("/a", "f1")
+        assert len(fib) == 0
+        assert fib.lookup("/a") == set()
+
+    def test_remove_missing_raises(self):
+        fib = Fib()
+        with pytest.raises(KeyError):
+            fib.remove("/a", "f1")
+
+    def test_remove_prefix(self):
+        fib = Fib()
+        fib.add("/a", "f1")
+        fib.remove_prefix("/a")
+        assert not fib.has_prefix("/a")
+        fib.remove_prefix("/a")  # idempotent
+
+    def test_clear(self):
+        fib = Fib()
+        fib.add("/a", "f")
+        fib.clear()
+        assert len(fib) == 0
+
+
+class TestEntriesUnder:
+    def test_finds_descendants_only(self):
+        fib = Fib()
+        fib.add("/1/1", "rp1")
+        fib.add("/1/2", "rp2")
+        fib.add("/2", "rp3")
+        under = fib.entries_under("/1")
+        assert set(under) == {Name.parse("/1/1"), Name.parse("/1/2")}
+
+    def test_strict_descendants(self):
+        fib = Fib()
+        fib.add("/1", "rp")
+        assert fib.entries_under("/1") == {}
+
+    def test_iteration_sorted(self):
+        fib = Fib()
+        fib.add("/b", "f")
+        fib.add("/a", "f")
+        assert [str(p) for p, _ in fib] == ["/a", "/b"]
+
+
+names = st.lists(
+    st.sampled_from(["a", "b", "c", "d"]), min_size=0, max_size=4
+).map(Name)
+
+
+class TestProperties:
+    @given(st.lists(names, min_size=1, max_size=20), names)
+    def test_lpm_is_longest_matching_installed_prefix(self, prefixes, query):
+        fib = Fib()
+        for p in prefixes:
+            fib.add(p, "face")
+        match = fib.longest_prefix_match(query)
+        matching = [p for p in prefixes if p.is_prefix_of(query)]
+        if not matching:
+            assert match is None
+        else:
+            assert match[0] == max(matching, key=len)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.experiments.report import render_cdf, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table("Title", ("a", "b"), [(1, 2.5), ("xy", 10000.0)])
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert "| a" in lines[2]
+        assert any("10,000.0" in line for line in lines)
+        # All rows share the same width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_empty_rows(self):
+        out = render_table("T", ("x",), [])
+        assert "x" in out
+
+    def test_float_formatting(self):
+        out = render_table("T", ("v",), [(0.1234,), (42.5678,), (1234.5,)])
+        assert "0.123" in out
+        assert "42.57" in out
+        assert "1,234.5" in out
+
+
+class TestRenderSeries:
+    def test_envelope_rows(self):
+        envelope = [(0, 1.0, 2.0, 3.0), (1000, 2.0, 4.0, 6.0)]
+        out = render_series("Fig", envelope)
+        assert "Fig" in out
+        assert "pkt        0" in out
+        assert "avg      4.00" in out
+
+    def test_empty(self):
+        assert "(no samples)" in render_series("Fig", [])
+
+    def test_downsampling(self):
+        envelope = [(i * 10, 1.0, 2.0, 3.0) for i in range(100)]
+        out = render_series("Fig", envelope, max_rows=10)
+        assert len(out.splitlines()) <= 30
+
+
+class TestRenderCdf:
+    def test_multi_curve(self):
+        curves = {
+            "A": [(1.0, 0.5), (2.0, 1.0)],
+            "B": [(10.0, 0.5), (20.0, 1.0)],
+        }
+        out = render_cdf("CDF", curves)
+        assert "A" in out and "B" in out
+        assert "20.00 ms" in out
+
+    def test_value_at_fraction_clamps(self):
+        curves = {"A": [(5.0, 0.9)]}
+        out = render_cdf("CDF", curves, quantiles=(1.0,))
+        assert "5.00" in out

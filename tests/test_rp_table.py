@@ -1,0 +1,149 @@
+"""Tests for the prefix-free Rendezvous Point table (paper §III-B)."""
+
+import pytest
+
+from repro.core.rp import RpTable
+from repro.names import Name, ROOT
+
+
+class TestPrefixFreeness:
+    def test_nested_prefix_rejected(self):
+        table = RpTable()
+        table.assign("/1/1", "rpA")
+        with pytest.raises(ValueError):
+            table.assign("/1", "rpB")  # the paper's example: no RP may serve /1
+        with pytest.raises(ValueError):
+            table.assign("/1/1/1", "rpB")
+
+    def test_siblings_allowed(self):
+        table = RpTable()
+        table.assign("/1/1", "rpA")
+        table.assign("/1/2", "rpB")
+        table.assign("/1/3", "rpB")
+        assert len(table) == 3
+
+    def test_reassign_same_prefix_is_move(self):
+        table = RpTable()
+        table.assign("/1", "rpA")
+        table.assign("/1", "rpB")
+        assert table.rp_for("/1/5") == "rpB"
+
+    def test_root_serves_everything(self):
+        table = RpTable()
+        table.assign(ROOT, "rp0")
+        assert table.rp_for("/anything/below") == "rp0"
+        with pytest.raises(ValueError):
+            table.assign("/1", "rp1")
+
+
+class TestLookup:
+    def make_paper_table(self):
+        """The paper's example: RP serves /1/1 (and so /1/1/1), others /1/2, /1/3."""
+        table = RpTable()
+        table.assign("/1/1", "rpA")
+        table.assign("/1/2", "rpB")
+        table.assign("/1/3", "rpC")
+        return table
+
+    def test_publication_routes_to_unique_rp(self):
+        table = self.make_paper_table()
+        assert table.rp_for("/1/1") == "rpA"
+        assert table.rp_for("/1/1/1") == "rpA"
+        assert table.rp_for("/1/2/9") == "rpB"
+
+    def test_uncovered_cd_raises(self):
+        table = self.make_paper_table()
+        with pytest.raises(KeyError):
+            table.rp_for("/2/1")
+        assert not table.covers("/2/1")
+        assert table.covers("/1/1/5")
+
+    def test_aggregate_subscription_spans_rps(self):
+        # Subscribing to /1 must reach every RP serving below it.
+        table = self.make_paper_table()
+        assert table.rps_for_subscription("/1") == {"rpA", "rpB", "rpC"}
+
+    def test_subscription_below_served_prefix_single_rp(self):
+        table = self.make_paper_table()
+        assert table.rps_for_subscription("/1/1/1") == {"rpA"}
+
+    def test_rps_under_returns_prefixes(self):
+        table = self.make_paper_table()
+        under = table.rps_under("/1")
+        assert set(under.values()) == {"rpA", "rpB", "rpC"}
+        assert Name.parse("/1/2") in under
+
+    def test_serving_prefix_of(self):
+        table = self.make_paper_table()
+        assert table.serving_prefix_of("/1/1/1/1") == Name.parse("/1/1")
+
+    def test_prefixes_of(self):
+        table = self.make_paper_table()
+        table.assign("/1/4", "rpA")
+        assert table.prefixes_of("rpA") == [Name.parse("/1/1"), Name.parse("/1/4")]
+
+    def test_all_rps(self):
+        table = self.make_paper_table()
+        assert table.all_rps() == {"rpA", "rpB", "rpC"}
+
+
+class TestMutation:
+    def test_withdraw(self):
+        table = RpTable()
+        table.assign("/1", "rpA")
+        assert table.withdraw("/1") == "rpA"
+        assert not table.covers("/1/1")
+        with pytest.raises(KeyError):
+            table.withdraw("/1")
+
+    def test_move(self):
+        table = RpTable()
+        table.assign("/1", "rpA")
+        table.assign("/2", "rpA")
+        table.move(["/1"], "rpB")
+        assert table.rp_for("/1/x") == "rpB"
+        assert table.rp_for("/2/x") == "rpA"
+
+    def test_move_unknown_prefix_raises(self):
+        table = RpTable()
+        with pytest.raises(KeyError):
+            table.move(["/1"], "rpB")
+
+    def test_refine_splits_granularity(self):
+        table = RpTable()
+        table.assign("/1", "rpA")
+        table.refine("/1", ["/1/1", "/1/2", "/1/0"])
+        assert table.rp_for("/1/2/x") == "rpA"
+        assert len(table) == 3
+        # Now half can be moved prefix-freely.
+        table.move(["/1/2"], "rpB")
+        assert table.rp_for("/1/2/x") == "rpB"
+        assert table.rp_for("/1/1") == "rpA"
+
+    def test_refine_rejects_non_descendants(self):
+        table = RpTable()
+        table.assign("/1", "rpA")
+        with pytest.raises(ValueError):
+            table.refine("/1", ["/2/1"])
+        with pytest.raises(ValueError):
+            table.refine("/1", ["/1/1", "/1/1/2"])  # nested children
+
+    def test_refine_unknown_prefix(self):
+        table = RpTable()
+        with pytest.raises(KeyError):
+            table.refine("/1", ["/1/1"])
+
+    def test_version_bumps_on_mutation(self):
+        table = RpTable()
+        v0 = table.version
+        table.assign("/1", "rpA")
+        table.move(["/1"], "rpB")
+        table.withdraw("/1")
+        assert table.version == v0 + 3
+
+    def test_snapshot_is_copy(self):
+        table = RpTable()
+        table.assign("/1", "rpA")
+        snap = table.snapshot()
+        snap[Name.parse("/2")] = "evil"
+        assert not table.covers("/2")

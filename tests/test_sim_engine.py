@@ -1,0 +1,149 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(9.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.5]
+        assert sim.now == 4.5
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_during_run(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, order.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule(0.0, hit.append, 1)
+        sim.run()
+        assert hit == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hit = []
+        handle = sim.schedule(1.0, hit.append, "x")
+        handle.cancel()
+        sim.run()
+        assert hit == []
+
+    def test_cancel_inside_callback(self):
+        sim = Simulator()
+        hit = []
+        later = sim.schedule(2.0, hit.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert hit == []
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        a = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        a.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunControl:
+    def test_until_horizon_leaves_future_events(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule(1.0, hit.append, 1)
+        sim.schedule(10.0, hit.append, 2)
+        sim.run(until=5.0)
+        assert hit == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert hit == [1, 2]
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule(1.0, lambda: (hit.append(1), sim.stop()))
+        sim.schedule(2.0, hit.append, 2)
+        sim.run()
+        assert hit == [1]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        count = []
+
+        def loop():
+            count.append(1)
+            sim.schedule(1.0, loop)
+
+        sim.schedule(0.0, loop)
+        sim.run(max_events=25)
+        assert len(count) == 25
+
+    def test_step_processes_one_event(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule(1.0, hit.append, "a")
+        sim.schedule(2.0, hit.append, "b")
+        assert sim.step()
+        assert hit == ["a"]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(RuntimeError):
+                sim.run()
+
+        sim.schedule(1.0, nested)
+        sim.run()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7

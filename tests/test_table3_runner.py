@@ -1,0 +1,58 @@
+"""Smoke/shape tests for the Table III movement experiment runner."""
+
+import pytest
+
+from repro.core.hierarchy import MoveType
+from repro.experiments.table3_movement import (
+    MovementModeResult,
+    Table3Result,
+    run_table3,
+)
+from repro.sim.stats import LatencyRecorder
+
+
+@pytest.fixture(scope="module")
+def qr_run():
+    return run_table3("qr15", num_players=40, num_moves=15, seed=3)
+
+
+class TestRunner:
+    def test_moves_complete(self, qr_run):
+        assert qr_run.moves_completed + qr_run.moves_skipped == 15
+        assert qr_run.moves_completed > 0
+
+    def test_landing_moves_are_free(self, qr_run):
+        recorder = qr_run.convergence.get(MoveType.TO_LOWER_LAYER)
+        if recorder and recorder.count:
+            assert recorder.maximum == 0.0
+
+    def test_snapshot_traffic_accounted(self, qr_run):
+        assert qr_run.network_bytes > 0
+        assert qr_run.objects_transferred > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_table3("carrier-pigeon")
+
+
+class TestResultAggregation:
+    def make_mode(self, label, samples):
+        mode = MovementModeResult(label=label)
+        for move_type, value in samples:
+            mode.record(move_type, value, cds=2)
+        return mode
+
+    def test_overall_mean(self):
+        mode = self.make_mode("m", [(MoveType.ZONE_SAME_REGION, 10.0), (MoveType.REGION_TO_WORLD, 30.0)])
+        assert mode.overall_mean_ms() == pytest.approx(20.0)
+        assert mode.mean_ms(MoveType.ZONE_SAME_REGION) == pytest.approx(10.0)
+        assert mode.mean_ms(MoveType.TO_LOWER_LAYER) is None
+
+    def test_table_rows_include_totals(self):
+        a = self.make_mode("A", [(MoveType.ZONE_SAME_REGION, 10.0)])
+        b = self.make_mode("B", [(MoveType.ZONE_SAME_REGION, 5.0)])
+        table = Table3Result(modes={"A": a, "B": b})
+        rows = table.rows()
+        assert rows[-1][0] == "Total"
+        # One row per paper move type + the total.
+        assert len(rows) == 7

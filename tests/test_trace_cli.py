@@ -1,0 +1,41 @@
+"""Tests for the trace tooling CLI."""
+
+import pytest
+
+from repro.trace.__main__ import _build_parser, main
+
+
+class TestTraceCli:
+    def test_generate_and_stats_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["generate", "--preset", "peak", "--updates", "1500",
+                     "-o", str(out)]) == 0
+        assert out.exists()
+        assert main(["stats", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "Trace statistics" in printed
+        assert "1500" in printed
+
+    def test_microbench_preset(self, tmp_path):
+        out = tmp_path / "mb.jsonl"
+        assert main(["generate", "--preset", "microbench", "--updates", "500",
+                     "-o", str(out)]) == 0
+        from repro.trace.io import read_events
+
+        events = read_events(out)
+        assert len(events) == 500
+        assert len({e.player for e in events}) <= 62
+
+    def test_filter_demo(self, capsys):
+        assert main(["filter-demo", "--players", "12", "--probes", "5"]) == 0
+        printed = capsys.readouterr().out
+        assert "unique players" in printed
+        assert "| 12 |".replace(" ", "") in printed.replace(" ", "")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["generate"])

@@ -1,0 +1,83 @@
+"""Tests for the peak-ramp and object-heat features of the generator."""
+
+import pytest
+
+from repro.game import GameMap
+from repro.trace import CounterStrikeTraceGenerator, peak_trace_spec
+from repro.trace.generator import TraceSpec
+
+
+def make_events(ramp=1.4, bias=1.5, updates=20_000):
+    game_map = GameMap(seed=1)
+    spec = TraceSpec(
+        num_players=414,
+        num_updates=updates,
+        mean_interarrival_ms=2.4,
+        top_layer_bias=bias,
+        peak_ramp=ramp,
+        seed=1,
+    )
+    generator = CounterStrikeTraceGenerator(game_map, spec)
+    return game_map, generator.generate()
+
+
+class TestPeakRamp:
+    def test_mean_interarrival_preserved(self):
+        _, events = make_events()
+        mean = events[-1].time_ms / len(events)
+        assert mean == pytest.approx(2.4, rel=0.05)
+
+    def test_rate_rises_toward_the_peak(self):
+        _, events = make_events()
+        n = len(events)
+        early = events[n // 5].time_ms / (n // 5)
+        last_fifth = events[-1].time_ms - events[-n // 5].time_ms
+        late = last_fifth / (n // 5)
+        # Late inter-arrivals are visibly shorter than early ones.
+        assert late < 0.85 * early
+
+    def test_ramp_one_is_stationary(self):
+        _, events = make_events(ramp=1.0)
+        n = len(events)
+        early = events[n // 5].time_ms / (n // 5)
+        late = (events[-1].time_ms - events[-n // 5].time_ms) / (n // 5)
+        assert late == pytest.approx(early, rel=0.1)
+
+    def test_ramp_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec(
+                num_players=1, num_updates=1, mean_interarrival_ms=1, peak_ramp=0.5
+            )
+
+
+class TestObjectHeat:
+    def _airspace_share(self, bias):
+        game_map, events = make_events(bias=bias, updates=15_000)
+        top = sum(1 for e in events if str(e.cd) == "/0")
+        return top / len(events)
+
+    def test_bias_raises_satellite_share(self):
+        assert self._airspace_share(1.5) > self._airspace_share(1.0) + 0.02
+
+    def test_default_share_supports_rp_stability_pattern(self):
+        """The Table I congestion pattern depends on the CD load split:
+        the hot 2-RP chunk (regions 4-5 + airspace) must exceed the
+        1/1.375 ~ 0.727 stability bound under the late-peak rate, while
+        the hot 3-RP chunk (region 5 + airspace) stays below it."""
+        game_map, events = make_events()
+        shares = {}
+        for e in events:
+            piece = "/0" if str(e.cd) == "/0" else "/" + e.cd[0]
+            shares[piece] = shares.get(piece, 0) + 1
+        total = sum(shares.values())
+        hot2 = (shares["/4"] + shares["/5"] + shares["/0"]) / total
+        hot3 = (shares["/5"] + shares["/0"]) / total
+        # rho_late = share * 3.3ms / 2.06ms (late inter-arrival at ramp 1.4).
+        assert hot2 * 3.3 / 2.06 > 1.0
+        assert hot3 * 3.3 / 2.06 < 0.95
+
+    def test_bias_zero_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec(
+                num_players=1, num_updates=1, mean_interarrival_ms=1, top_layer_bias=0
+            )
