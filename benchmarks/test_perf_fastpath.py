@@ -1,0 +1,37 @@
+"""Perf-regression gates for the forwarding fast path.
+
+These assert the speedups recorded in ``BENCH_fastpath.json`` keep
+holding: the memoized ST match must stay well ahead of the uncached
+reference scan, and the end-to-end Fig. 6-style run must stay faster
+with the memo on — with bit-identical accounting either way.
+
+Marked ``perf``: excluded from default runs (wall-clock assertions are
+flaky on loaded machines); run with ``REPRO_PERF=1 pytest benchmarks/``
+or ``pytest benchmarks/ -m perf``.
+"""
+
+import pytest
+
+from repro.experiments.perfbench import (
+    bench_bloom_ops,
+    bench_end_to_end,
+    bench_st_match,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def test_st_match_warm_speedup_at_least_3x():
+    result = bench_st_match(probe_rounds=20)
+    assert result["warm_speedup"] >= 3.0, result
+
+
+def test_packed_mask_beats_index_probes():
+    result = bench_bloom_ops(rounds=10_000)
+    assert result["mask_vs_index_speedup"] >= 1.5, result
+
+
+def test_end_to_end_cached_speedup_and_identical_counters():
+    result = bench_end_to_end(players=124, updates=400)
+    assert result["counters_identical"], result
+    assert result["speedup"] >= 1.5, result

@@ -34,9 +34,10 @@ RP migration (§IV-B) is implemented in three stages:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.hierarchy import MapHierarchy
 from repro.core.packets import (
@@ -140,8 +141,10 @@ class GCopssRouter(NdnRouter):
         self._migrations: Dict[int, _Migration] = {}
         # Sliding window of serving prefixes of recently decapsulated
         # packets; the load balancer reads this to pick which CDs to shed.
-        self.rp_recent_cds: List[Name] = []
+        # A bounded deque: appends past the window evict O(1) instead of
+        # the old list's slice-delete.
         self.rp_window_size = 2000
+        self.rp_recent_cds: Deque[Name] = deque(maxlen=self.rp_window_size)
         # Replication dedup: a router never needs to replicate the same
         # update twice (in a consistent tree it sees each update once; the
         # second copy a migration fork can deliver is redundant, and this
@@ -218,15 +221,29 @@ class GCopssRouter(NdnRouter):
     # RP role helpers
     # ------------------------------------------------------------------
     def _serving_prefix(self, cd: Name) -> Optional[Name]:
-        """The rp_prefix under which this router serves ``cd``, if any."""
-        for prefix in self.rp_prefixes:
-            if prefix.is_prefix_of(cd):
+        """The rp_prefix under which this router serves ``cd``, if any.
+
+        Set-membership probes over the CD's cached prefix chain: prefix-
+        freeness of the RP assignment guarantees at most one hit, so the
+        walk order is immaterial.  This runs in the per-packet service-
+        cost estimate, so it must not scan ``rp_prefixes`` linearly.
+        """
+        serving = self.rp_prefixes
+        if not serving:
+            return None
+        for prefix in cd.prefixes():
+            if prefix in serving:
                 return prefix
         return None
 
     def _relinquished_to(self, cd: Name) -> Optional[str]:
-        for prefix, new_rp in self.relinquished.items():
-            if prefix.is_prefix_of(cd):
+        """Longest relinquished prefix covering ``cd``, via dict probes."""
+        relinquished = self.relinquished
+        if not relinquished:
+            return None
+        for prefix in reversed(cd.prefixes()):
+            new_rp = relinquished.get(prefix)
+            if new_rp is not None:
                 return new_rp
         return None
 
@@ -297,15 +314,13 @@ class GCopssRouter(NdnRouter):
         if out is None:
             self.multicast_dropped_no_rp += 1
             return
-        self.send(out, tunnel)
+        out.send(tunnel)  # per-hop tunnel forward: skip the ownership re-check
 
     def _decapsulated(
         self, mcast: MulticastPacket, serving: Name, exclude: Optional[Face]
     ) -> None:
         self.decapsulations += 1
-        self.rp_recent_cds.append(serving)
-        if len(self.rp_recent_cds) > self.rp_window_size:
-            del self.rp_recent_cds[: len(self.rp_recent_cds) - self.rp_window_size]
+        self.rp_recent_cds.append(serving)  # deque maxlen evicts the oldest
         for hook in self.on_decap:
             hook(self, serving)
         self._replicate(mcast, exclude=exclude)
@@ -320,10 +335,12 @@ class GCopssRouter(NdnRouter):
             half = len(self._replicated_order) // 2
             self._replicated_uids.difference_update(self._replicated_order[:half])
             del self._replicated_order[:half]
+        forwarded = 0
         for out in self.st.match(mcast.cd):
             if out is not exclude:
-                self.multicasts_forwarded += 1
-                self.send(out, mcast)
+                forwarded += 1
+                out.send(mcast)  # faces from our own ST; skip the self.send ownership re-check
+        self.multicasts_forwarded += forwarded
 
     # ------------------------------------------------------------------
     # Subscription control path

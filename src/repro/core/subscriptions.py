@@ -12,13 +12,23 @@ migration all require knowing precisely what was subscribed.  The Bloom
 filter remains the structure consulted on the forwarding fast path (and
 whose false positives we account and ablate); the exact sets model the
 end-host-refreshable state any deployable COPSS router keeps.
+
+Forwarding fast path: game workloads publish thousands of packets per CD
+between subscription-churn events, so :meth:`SubscriptionTable.match`
+memoizes its result per CD.  The memo is invalidated wholesale by a
+generation counter bumped on every mutation, and each cache entry stores
+the per-packet false-positive face count so FP accounting stays exact
+(counted per forwarded packet, never per cache fill).  Setting
+:attr:`SubscriptionTable.cache_enabled` to False switches to the uncached
+reference scan — the two paths are asserted equivalent by tests and the
+perf harness.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
 
-from repro.core.bloom import CountingBloomFilter, _indexes
+from repro.core.bloom import CountingBloomFilter, indexes_for, mask_for
 from repro.names import Name
 
 __all__ = ["SubscriptionTable"]
@@ -35,6 +45,14 @@ class SubscriptionTable(Generic[F]):
         self._blooms: Dict[F, CountingBloomFilter] = {}
         self._exact: Dict[F, Dict[Name, int]] = {}
         self.false_positive_forwards = 0
+        #: Data-plane memo switch; False selects the uncached reference scan.
+        self.cache_enabled = True
+        # cd -> (matched faces, false-positive face count), valid for
+        # _cache_generation only.  _generation is bumped by every mutation.
+        self._match_cache: Dict[Name, Tuple[List[F], int]] = {}
+        self._generation = 0
+        self._cache_generation = 0
+        self._match_cache_limit = 4096
 
     # ------------------------------------------------------------------
     # Mutation
@@ -42,6 +60,7 @@ class SubscriptionTable(Generic[F]):
     def subscribe(self, face: F, cd: "Name | str") -> bool:
         """Record a subscription; True if the CD is new on this face."""
         cd = Name.coerce(cd)
+        self._generation += 1
         bloom = self._blooms.get(face)
         if bloom is None:
             bloom = CountingBloomFilter(self._bloom_bits, self._bloom_hashes)
@@ -77,6 +96,7 @@ class SubscriptionTable(Generic[F]):
         counts = self._exact.get(face)
         if not counts or cd not in counts:
             raise KeyError(f"face {face!r} has no subscription to {cd}")
+        self._generation += 1
         counts[cd] -= 1
         self._blooms[face].remove(cd)
         if counts[cd] == 0:
@@ -98,10 +118,12 @@ class SubscriptionTable(Generic[F]):
         counts = self._exact.get(face)
         if not counts or cd not in counts:
             return 0
+        self._generation += 1
         removed = counts.pop(cd)
         bloom = self._blooms[face]
+        idxs = indexes_for(cd, self._bloom_bits, self._bloom_hashes)
         for _ in range(removed):
-            bloom.remove(cd)
+            bloom.remove(cd, idxs)
         if not counts:
             del self._exact[face]
             del self._blooms[face]
@@ -109,6 +131,7 @@ class SubscriptionTable(Generic[F]):
 
     def drop_face(self, face: F) -> Set[Name]:
         """Remove all state for a face (link down / host left)."""
+        self._generation += 1
         self._blooms.pop(face, None)
         counts = self._exact.pop(face, {})
         return set(counts)
@@ -124,27 +147,68 @@ class SubscriptionTable(Generic[F]):
         :attr:`false_positive_forwards` and still returned — that is the
         real COPSS behaviour and the extra network load it causes is part
         of the Bloom-filter ablation.
+
+        Memoized per CD (see the module docstring); the cached entry is a
+        pure function of the table state, so a generation bump on any
+        mutation is the only invalidation needed.
         """
-        name = Name.coerce(cd)
+        name = cd if type(cd) is Name else Name.coerce(cd)
+        if not self.cache_enabled:
+            faces, fp_faces = self._match_scan(name)
+            self.false_positive_forwards += fp_faces
+            return faces
+        cache = self._match_cache
+        if self._cache_generation != self._generation:
+            cache.clear()
+            self._cache_generation = self._generation
+        entry = cache.get(name)
+        if entry is None:
+            if len(cache) >= self._match_cache_limit:
+                cache.clear()
+            entry = cache[name] = self._match_packed(name)
+        faces, fp_faces = entry
+        self.false_positive_forwards += fp_faces
+        return list(faces)
+
+    def _match_packed(self, name: Name) -> Tuple[List[F], int]:
+        """One AND per (face, prefix) against each filter's packed bit view."""
         prefixes = name.prefixes()
+        bits, hashes = self._bloom_bits, self._bloom_hashes
         # All per-face filters share the table's (bits, hashes) geometry,
-        # so the bit positions of each prefix are derived once per packet
-        # and tested directly against every face's counters.
-        index_sets = [
-            _indexes(str(prefix), self._bloom_bits, self._bloom_hashes)
-            for prefix in prefixes
-        ]
+        # so each prefix's combined mask is derived once per CD (and cached
+        # on the Name instance) and ANDed against every face's view.
+        masks = [mask_for(prefix, bits, hashes) for prefix in prefixes]
         matched: List[F] = []
+        fp_faces = 0
         for face, bloom in self._blooms.items():
-            counts = bloom._counts
-            if any(
-                all(counts[i] for i in indexes) for indexes in index_sets
-            ):
+            view = bloom.bit_view
+            if any(view & mask == mask for mask in masks):
                 matched.append(face)
                 exact = self._exact[face]
                 if not any(prefix in exact for prefix in prefixes):
-                    self.false_positive_forwards += 1
-        return matched
+                    fp_faces += 1
+        return matched, fp_faces
+
+    def _match_scan(self, name: Name) -> Tuple[List[F], int]:
+        """Uncached reference path: per-index counter probes on every face.
+
+        This is the pre-fast-path data plane, kept as the cache-bypass arm
+        so equivalence (and the speedup) stays measurable.
+        """
+        prefixes = name.prefixes()
+        index_sets = [
+            indexes_for(prefix, self._bloom_bits, self._bloom_hashes)
+            for prefix in prefixes
+        ]
+        matched: List[F] = []
+        fp_faces = 0
+        for face, bloom in self._blooms.items():
+            if any(bloom.contains_indexes(indexes) for indexes in index_sets):
+                matched.append(face)
+                exact = self._exact[face]
+                if not any(prefix in exact for prefix in prefixes):
+                    fp_faces += 1
+        return matched, fp_faces
 
     def match_exact(self, cd: "Name | str") -> List[F]:
         """Ground-truth matching (no Bloom false positives); ablation arm."""

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments fig6
     python -m repro.experiments table2 --sample 0.01
     python -m repro.experiments table3 --moves 80
+    python -m repro.experiments perfbench --quick
     python -m repro.experiments all
 
 Each subcommand prints the regenerated table/figure in the same layout
@@ -97,6 +98,21 @@ def _cmd_table3(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_perfbench(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.experiments.perfbench import render_perfbench, run_perfbench
+
+    out = Path(args.out) if args.out else None
+    report = run_perfbench(
+        out_path=out,
+        players=args.players,
+        updates=args.updates,
+        quick=args.quick,
+    )
+    print(render_perfbench(report))
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     for name in ("fig3", "fig4", "table1", "fig6", "table2", "table3"):
         print(f"\n===== {name} =====")
@@ -117,6 +133,7 @@ _DISPATCH = {
     "fig6": _cmd_fig6,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
+    "perfbench": _cmd_perfbench,
     "all": _cmd_all,
 }
 
@@ -148,6 +165,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table3", help="snapshot convergence (Table III)")
     p.add_argument("--players", type=int, default=62)
     p.add_argument("--moves", type=int, default=80)
+
+    p = sub.add_parser(
+        "perfbench", help="forwarding fast-path benchmarks (BENCH_fastpath.json)"
+    )
+    p.add_argument("--players", type=int, default=414)
+    p.add_argument("--updates", type=int, default=1_200)
+    p.add_argument("--out", type=str, default="",
+                   help="output path (default: BENCH_fastpath.json at repo root)")
+    p.add_argument("--quick", action="store_true",
+                   help="shrunken loop counts for smoke tests")
 
     sub.add_parser("all", help="run every artifact at default scale")
     return parser

@@ -192,6 +192,7 @@ def run_gcopss_backbone(
     series_bucket: int = 1000,
     split_policy: SplitPolicy = SplitPolicy.RANDOM,
     use_exact_st: bool = False,
+    use_st_cache: bool = True,
     subscriptions_fn: Optional[Callable[[Name], Iterable[Name]]] = None,
     use_coordinate_selection: bool = False,
 ) -> ScenarioResult:
@@ -200,7 +201,10 @@ def run_gcopss_backbone(
     ``auto_balance`` starts from ``num_rps`` RPs and lets the queue-
     threshold balancer split hot RPs dynamically (Fig. 5c / Table I
     "Auto" row).  ``use_exact_st`` switches the data plane to exact-set
-    matching (Bloom ablation arm).
+    matching (Bloom ablation arm).  ``use_st_cache=False`` bypasses the
+    memoized ST fast path (uncached reference scan) — results must be
+    identical either way; the perf harness and determinism tests rely on
+    this switch.
     """
     hierarchy = game_map.hierarchy
     built = build_backbone(
@@ -226,6 +230,10 @@ def run_gcopss_backbone(
         for node in network.nodes.values():
             if isinstance(node, GCopssRouter):
                 node.st.match = node.st.match_exact  # type: ignore[method-assign]
+    if not use_st_cache:
+        for node in network.nodes.values():
+            if isinstance(node, GCopssRouter):
+                node.st.cache_enabled = False
 
     splits: List[Tuple[str, Tuple[Name, ...]]] = []
     balancers: List[RpLoadBalancer] = []
@@ -281,9 +289,8 @@ def run_gcopss_backbone(
     _schedule_publishes(network, events, publish)
     network.sim.run()
 
-    decaps = sum(
-        n.decapsulations for n in network.nodes.values() if isinstance(n, GCopssRouter)
-    )
+    routers = [n for n in network.nodes.values() if isinstance(n, GCopssRouter)]
+    decaps = sum(n.decapsulations for n in routers)
     return ScenarioResult(
         label=label or f"G-COPSS {num_rps} RP{'s' if num_rps != 1 else ''}"
         + (" (auto)" if auto_balance else ""),
@@ -295,6 +302,14 @@ def run_gcopss_backbone(
         extras={
             "decapsulations": decaps,
             "splits": splits,
+            "network_packets": network.total_packets,
+            "false_positive_forwards": sum(
+                n.st.false_positive_forwards for n in routers
+            ),
+            "duplicate_multicasts_dropped": sum(
+                n.duplicate_multicasts_dropped for n in routers
+            ),
+            "updates_received": sum(h.updates_received for h in hosts.values()),
             "final_rp_count": len(
                 {
                     n.name

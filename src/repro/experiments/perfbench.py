@@ -1,0 +1,315 @@
+"""Forwarding fast-path microbenchmarks and perf-regression harness.
+
+The paper's data plane lives or dies on per-hop cost (§III-C, Fig. 4):
+ST lookup + replication must stay far cheaper than RP decapsulation for
+the traffic-concentration results to hold at scale.  This module times
+the layers of the fast path —
+
+* **Name ops** — interned parse and cached prefix chains;
+* **Bloom ops** — packed-mask membership vs per-index counter probes;
+* **ST match** — memoized (warm) vs uncached reference scan (cold);
+* **End-to-end** — a Fig. 6-style forwarding run with the ST memo on
+  vs bypassed, asserting bit-identical delivery/accounting counters.
+
+— and writes ``BENCH_fastpath.json`` at the repo root so perf changes
+are visible across PRs.  Run via ``python -m repro.experiments perfbench``
+or the ``perf``-marked benchmarks under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.bloom import CountingBloomFilter, indexes_for, mask_for
+from repro.core.subscriptions import SubscriptionTable
+from repro.names import Name
+
+__all__ = [
+    "bench_name_ops",
+    "bench_bloom_ops",
+    "bench_st_match",
+    "bench_end_to_end",
+    "run_perfbench",
+    "default_output_path",
+]
+
+
+def default_output_path() -> Path:
+    """``BENCH_fastpath.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "BENCH_fastpath.json"
+
+
+def _rate(seconds: float, ops: int) -> Dict[str, float]:
+    """Per-op microseconds and ops/s for one timed loop."""
+    per_us = seconds / ops * 1e6
+    return {"us_per_op": round(per_us, 4), "ops_per_s": round(ops / seconds)}
+
+
+def _cd_universe(regions: int = 8, areas: int = 8, leaves: int = 4) -> List[Name]:
+    """A hierarchical CD universe shaped like the game map's (depth 3)."""
+    return [
+        Name([str(r), str(a), str(l)])
+        for r in range(regions)
+        for a in range(areas)
+        for l in range(leaves)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Name layer
+# ----------------------------------------------------------------------
+
+def bench_name_ops(rounds: int = 20_000) -> Dict[str, Dict[str, float]]:
+    """Interned parse, cached prefix chains and cached str()."""
+    texts = [str(cd) for cd in _cd_universe()]
+    perf = time.perf_counter
+
+    start = perf()
+    for _ in range(rounds // len(texts) + 1):
+        for text in texts:
+            Name.parse(text)
+    parse_warm = perf() - start
+    parse_ops = (rounds // len(texts) + 1) * len(texts)
+
+    names = [Name.parse(text) for text in texts]
+    start = perf()
+    for _ in range(rounds // len(names) + 1):
+        for name in names:
+            name.prefixes()
+    prefixes_time = perf() - start
+
+    start = perf()
+    for _ in range(rounds // len(names) + 1):
+        for name in names:
+            str(name)
+    str_time = perf() - start
+
+    return {
+        "parse_warm": _rate(parse_warm, parse_ops),
+        "prefixes_cached": _rate(prefixes_time, parse_ops),
+        "str_cached": _rate(str_time, parse_ops),
+    }
+
+
+# ----------------------------------------------------------------------
+# Bloom layer
+# ----------------------------------------------------------------------
+
+def bench_bloom_ops(rounds: int = 20_000, num_bits: int = 2048, num_hashes: int = 4
+                    ) -> Dict[str, Dict[str, float]]:
+    """Packed-mask membership vs per-index counter probes."""
+    universe = _cd_universe()
+    bloom = CountingBloomFilter(num_bits, num_hashes)
+    for cd in universe[::3]:
+        bloom.add(cd)
+    masks = [mask_for(cd, num_bits, num_hashes) for cd in universe]
+    index_sets = [indexes_for(cd, num_bits, num_hashes) for cd in universe]
+    perf = time.perf_counter
+    loops = rounds // len(universe) + 1
+    ops = loops * len(universe)
+
+    start = perf()
+    for _ in range(loops):
+        for mask in masks:
+            bloom.contains_mask(mask)
+    packed = perf() - start
+
+    start = perf()
+    for _ in range(loops):
+        for indexes in index_sets:
+            bloom.contains_indexes(indexes)
+    probed = perf() - start
+
+    start = perf()
+    for _ in range(loops):
+        for cd in universe:
+            cd in bloom
+    contains = perf() - start
+
+    return {
+        "contains_mask": _rate(packed, ops),
+        "contains_indexes": _rate(probed, ops),
+        "contains_name": _rate(contains, ops),
+        "mask_vs_index_speedup": round(probed / packed, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# ST layer
+# ----------------------------------------------------------------------
+
+def bench_st_match(
+    faces: int = 48,
+    cds_per_face: int = 30,
+    probe_rounds: int = 40,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Memoized ``match`` (warm) vs the uncached reference scan (cold).
+
+    The table shape mimics a loaded edge router: tens of faces, each
+    subscribed to a few dozen hierarchical CDs; the probe set replays the
+    full leaf-CD universe, as steady-state game forwarding does.
+    """
+    import random
+
+    rng = random.Random(seed)
+    universe = _cd_universe()
+    table: SubscriptionTable[int] = SubscriptionTable()
+    for face in range(faces):
+        for cd in rng.sample(universe, cds_per_face):
+            table.ensure(face, cd)
+    probes = universe
+    perf = time.perf_counter
+
+    table.cache_enabled = False
+    start = perf()
+    for _ in range(probe_rounds):
+        for cd in probes:
+            table.match(cd)
+    cold = perf() - start
+
+    table.cache_enabled = True
+    for cd in probes:  # fill
+        table.match(cd)
+    start = perf()
+    for _ in range(probe_rounds):
+        for cd in probes:
+            table.match(cd)
+    warm = perf() - start
+
+    ops = probe_rounds * len(probes)
+    return {
+        "faces": faces,
+        "cds_per_face": cds_per_face,
+        "probes": len(probes),
+        "cold": _rate(cold, ops),
+        "warm": _rate(warm, ops),
+        "warm_speedup": round(cold / warm, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# End-to-end forwarding run
+# ----------------------------------------------------------------------
+
+def bench_end_to_end(
+    players: int = 414,
+    updates: int = 1_200,
+    num_rps: int = 3,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """A Fig. 6-style forwarding run, ST memo on vs bypassed.
+
+    Beyond wall clock, asserts the fast path changes nothing observable:
+    delivery counts, duplicate drops, false-positive forwards and network
+    byte/packet accounting must be identical in both arms.
+    """
+    from repro.experiments.common import run_gcopss_backbone
+    from repro.game.map import GameMap
+    from repro.trace.generator import CounterStrikeTraceGenerator, peak_trace_spec
+
+    game_map = GameMap(seed=seed)
+    base = CounterStrikeTraceGenerator(
+        game_map, peak_trace_spec(num_updates=updates, seed=seed)
+    )
+    generator = base.rescale_players(players, scale_rate=False, num_updates=updates)
+    events = generator.generate()
+    perf = time.perf_counter
+
+    def one_arm(use_st_cache: bool):
+        start = perf()
+        result = run_gcopss_backbone(
+            events,
+            game_map,
+            generator.placement,
+            num_rps=num_rps,
+            use_st_cache=use_st_cache,
+            label=f"perfbench {'cached' if use_st_cache else 'bypass'}",
+        )
+        return perf() - start, result
+
+    bypass_s, bypass = one_arm(False)
+    cached_s, cached = one_arm(True)
+
+    def counters(result) -> Dict[str, object]:
+        return {
+            "deliveries": result.deliveries,
+            "updates_received": result.extras["updates_received"],
+            "false_positive_forwards": result.extras["false_positive_forwards"],
+            "duplicate_multicasts_dropped": result.extras[
+                "duplicate_multicasts_dropped"
+            ],
+            "network_bytes": result.network_bytes,
+            "network_packets": result.extras["network_packets"],
+            "latency_mean_ms": round(result.latency.mean, 6),
+        }
+
+    cached_counters = counters(cached)
+    bypass_counters = counters(bypass)
+    return {
+        "players": players,
+        "updates": updates,
+        "num_rps": num_rps,
+        "cached_s": round(cached_s, 3),
+        "bypass_s": round(bypass_s, 3),
+        "speedup": round(bypass_s / cached_s, 2),
+        "counters_identical": cached_counters == bypass_counters,
+        "counters": cached_counters,
+        "counters_bypass": bypass_counters,
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+def run_perfbench(
+    out_path: Optional[Path] = None,
+    players: int = 414,
+    updates: int = 1_200,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Run every section and write ``BENCH_fastpath.json``.
+
+    ``quick`` shrinks loop counts for smoke-test use (the JSON records
+    which mode produced it, so trajectories stay comparable).
+    """
+    rounds = 4_000 if quick else 20_000
+    report: Dict[str, object] = {
+        "benchmark": "forwarding-fastpath",
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "name_ops": bench_name_ops(rounds=rounds),
+        "bloom_ops": bench_bloom_ops(rounds=rounds),
+        "st_match": bench_st_match(probe_rounds=8 if quick else 40),
+        "end_to_end": bench_end_to_end(
+            players=players if not quick else 124,
+            updates=updates if not quick else 400,
+        ),
+    }
+    if out_path is None:
+        out_path = default_output_path()
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return report
+
+
+def render_perfbench(report: Dict[str, object]) -> str:
+    """Human-readable summary of a perfbench report."""
+    st = report["st_match"]
+    e2e = report["end_to_end"]
+    lines = [
+        "Forwarding fast-path benchmark",
+        f"  name parse (warm, interned): {report['name_ops']['parse_warm']['us_per_op']} us/op",
+        f"  bloom contains (packed mask): {report['bloom_ops']['contains_mask']['us_per_op']} us/op"
+        f" ({report['bloom_ops']['mask_vs_index_speedup']}x vs per-index probes)",
+        f"  ST match cold: {st['cold']['us_per_op']} us/op"
+        f"  warm: {st['warm']['us_per_op']} us/op"
+        f"  ({st['warm_speedup']}x warm speedup)",
+        f"  end-to-end ({e2e['players']} players, {e2e['updates']} updates):"
+        f" cached {e2e['cached_s']}s vs bypass {e2e['bypass_s']}s"
+        f" ({e2e['speedup']}x), counters identical: {e2e['counters_identical']}",
+    ]
+    return "\n".join(lines)

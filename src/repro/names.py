@@ -15,6 +15,12 @@ from typing import Iterable, Iterator, Sequence
 
 __all__ = ["Name", "ROOT"]
 
+#: Bounded intern table for parsed names (text form -> instance).  A game's
+#: CD universe is small and static, so in practice every hot name is a hit;
+#: the bound only guards pathological workloads with unbounded name churn.
+_INTERNED: "dict[str, Name]" = {}
+_INTERN_LIMIT = 1 << 16
+
 
 @total_ordering
 class Name:
@@ -27,7 +33,7 @@ class Name:
     data structures deterministic.
     """
 
-    __slots__ = ("_components", "_hash", "_str", "_prefixes")
+    __slots__ = ("_components", "_hash", "_str", "_prefixes", "_derived")
 
     def __init__(self, components: Iterable[str] = ()) -> None:
         comps = tuple(str(c) for c in components)
@@ -43,6 +49,7 @@ class Name:
         # canonical string and the prefix tuple are computed at most once.
         self._str: str | None = None
         self._prefixes: "tuple[Name, ...] | None" = None
+        self._derived: "dict | None" = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -54,9 +61,18 @@ class Name:
         ``/`` and the empty string both denote the root name.  Redundant
         slashes are rejected rather than silently collapsed so that
         malformed packet fields are detected early.
+
+        Parsed names are interned in a bounded cache: packet fields and
+        trace events re-parse the same small CD universe constantly, and
+        returning the same instance lets the per-instance caches
+        (:meth:`prefixes`, :meth:`derived_cache`) pay off across packets.
         """
         if text in ("", "/"):
             return ROOT
+        if cls is Name:
+            cached = _INTERNED.get(text)
+            if cached is not None:
+                return cached
         if not text.startswith("/"):
             raise ValueError(f"name must start with '/': {text!r}")
         body = text[1:]
@@ -65,7 +81,15 @@ class Name:
         parts = body.split("/")
         if any(not part for part in parts):
             raise ValueError(f"name contains empty component: {text!r}")
-        return cls(parts)
+        name = cls(parts)
+        if cls is Name:
+            if len(_INTERNED) >= _INTERN_LIMIT:
+                # Evict the oldest half (dicts iterate in insertion order);
+                # the live CD universe re-interns on next parse.
+                for stale in list(_INTERNED)[: _INTERN_LIMIT // 2]:
+                    del _INTERNED[stale]
+            _INTERNED[text] = name
+        return name
 
     @classmethod
     def coerce(cls, value: "Name | str | Sequence[str]") -> "Name":
@@ -158,9 +182,22 @@ class Name:
         if self._prefixes is None:
             self._prefixes = tuple(
                 Name(self._components[:length])
-                for length in range(len(self._components) + 1)
-            )
+                for length in range(len(self._components))
+            ) + (self,)
         return self._prefixes if include_root else self._prefixes[1:]
+
+    def derived_cache(self) -> dict:
+        """Per-instance memo for data derived from this (immutable) name.
+
+        Used by :mod:`repro.core.bloom` to pin each name's Bloom bit
+        positions per ``(num_bits, num_hashes)`` geometry: a CD's indexes
+        are then computed once for the lifetime of the run rather than
+        re-derived (or re-probed through a string-keyed cache) per hop.
+        """
+        cache = self._derived
+        if cache is None:
+            cache = self._derived = {}
+        return cache
 
     def ancestors(self) -> Iterator["Name"]:
         """Yield strict prefixes, shortest first (root included)."""

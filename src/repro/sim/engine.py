@@ -67,7 +67,14 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` ms from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, *args)
+        # Inlined schedule_at: this runs once per packet-hop and once per
+        # service completion, so the extra call frame is measurable.
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, handle))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
@@ -96,7 +103,19 @@ class Simulator:
         processed = 0
         heap = self._heap
         pop = heapq.heappop
+        unbounded = until is None and max_events is None
         try:
+            if unbounded:
+                # Hot loop for full-drain runs (the common case): no
+                # horizon or event-budget checks per iteration.
+                while heap and not self._stopped:
+                    time, _seq, handle = pop(heap)
+                    if handle.cancelled:
+                        continue
+                    self.now = time
+                    handle.callback(*handle.args)
+                    processed += 1
+                return
             while heap and not self._stopped:
                 time, _seq, handle = heap[0]
                 if until is not None and time > until:
@@ -108,12 +127,12 @@ class Simulator:
                 self.now = time
                 handle.callback(*handle.args)
                 processed += 1
-                self.events_processed += 1
                 if max_events is not None and processed >= max_events:
                     return
             if until is not None and not self._stopped:
                 self.now = max(self.now, until)
         finally:
+            self.events_processed += processed
             self._running = False
 
     def step(self) -> bool:

@@ -30,25 +30,49 @@ class Face:
     IPC-port-per-face layout of the G-COPSS router in the paper's Fig. 2.
     """
 
-    __slots__ = ("node", "face_id", "link")
+    __slots__ = ("node", "face_id", "link", "_peer", "_peer_face")
 
     def __init__(self, node: "Node", face_id: int, link: "Link") -> None:
         self.node = node
         self.face_id = face_id
         self.link = link
+        # Filled in by Link once both endpoints exist; topology is static
+        # after construction, so the peer is resolved once instead of per
+        # packet (the router service-cost estimate reads it on every hop).
+        self._peer: "Node | None" = None
+        self._peer_face: "Face | None" = None
 
     @property
     def peer(self) -> "Node":
         """The node at the other end of this face's link."""
-        return self.link.peer_of(self.node)
+        peer = self._peer
+        if peer is None:
+            peer = self._peer = self.link.peer_of(self.node)
+        return peer
 
     @property
     def peer_face(self) -> "Face":
-        return self.link.face_of(self.peer)
+        peer_face = self._peer_face
+        if peer_face is None:
+            peer_face = self._peer_face = self.link.face_of(self.peer)
+        return peer_face
 
     def send(self, packet: Packet) -> None:
-        """Transmit ``packet`` toward the peer node."""
-        self.link.transmit(self.node, packet)
+        """Transmit ``packet`` toward the peer node.
+
+        Equivalent to ``link.transmit(self.node, packet)`` but uses the
+        peer resolved at link construction, skipping the per-packet
+        endpoint comparison — this is the per-hop hot path.
+        """
+        link = self.link
+        link.bytes_carried += packet.size
+        link.packets_carried += 1
+        peer = self._peer
+        peer_face = self._peer_face
+        if peer is None or peer_face is None:  # face not wired via Link()
+            peer = self.peer
+            peer_face = self.peer_face
+        link.sim.schedule(link.delay, peer.receive, packet, peer_face)
 
     def __repr__(self) -> str:
         return f"Face({self.node.name}#{self.face_id}->{self.peer.name})"
@@ -76,6 +100,8 @@ class Link:
         face_a = a._attach(self)
         face_b = b._attach(self)
         self._ends: Tuple[Tuple[Node, Face], Tuple[Node, Face]] = ((a, face_a), (b, face_b))
+        face_a._peer, face_a._peer_face = b, face_b
+        face_b._peer, face_b._peer_face = a, face_a
         self.bytes_carried: int = 0
         self.packets_carried: int = 0
 
@@ -95,10 +121,20 @@ class Link:
         raise ValueError(f"{node} is not an endpoint of {self}")
 
     def transmit(self, sender: "Node", packet: Packet) -> None:
-        receiver = self.peer_of(sender)
+        """Carry ``packet`` from ``sender`` to the opposite endpoint.
+
+        Delivery is scheduled after the link delay at the receiver's
+        ingress face; byte/packet counters accrue immediately.
+        """
+        (a, face_a), (b, face_b) = self._ends
+        if sender is a:
+            receiver, ingress_face = b, face_b
+        elif sender is b:
+            receiver, ingress_face = a, face_a
+        else:
+            raise ValueError(f"{sender} is not an endpoint of {self}")
         self.bytes_carried += packet.size
         self.packets_carried += 1
-        ingress_face = self.face_of(receiver)
         self.sim.schedule(self.delay, receiver.receive, packet, ingress_face)
 
     def __repr__(self) -> str:

@@ -75,11 +75,19 @@ class ServiceQueue:
         """Enqueue ``item``; fire ``on_done(item)`` once served."""
         if service_time < 0:
             raise ValueError(f"negative service time: {service_time}")
-        self._waiting.append((item, service_time, on_done, self.sim.now))
-        if len(self._waiting) > self.peak_queue_length:
-            self.peak_queue_length = len(self._waiting)
         if not self._busy:
-            self._start_next()
+            # Idle server: start service directly, skipping the queue
+            # round-trip.  The head item still counts toward the peak (it
+            # is momentarily "waiting" in the general path).
+            self._busy = True
+            self._current_started_at = self.sim.now
+            if self.peak_queue_length < 1:
+                self.peak_queue_length = 1
+            self.sim.schedule(service_time, self._complete, item, service_time, on_done)
+        else:
+            self._waiting.append((item, service_time, on_done, self.sim.now))
+            if len(self._waiting) > self.peak_queue_length:
+                self.peak_queue_length = len(self._waiting)
         for observer in self.on_enqueue:
             observer(self)
 

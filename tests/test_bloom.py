@@ -130,3 +130,33 @@ class TestCountingBloomFilter:
             bloom.remove(cd)
         assert bloom.items == 0
         assert bloom.fill_ratio == 0.0
+
+    def test_counters_are_16_bit(self):
+        from array import array
+
+        bloom = CountingBloomFilter(num_bits=64)
+        assert isinstance(bloom._counts, array)
+        assert bloom._counts.typecode == "H"
+
+    def test_counter_overflow_raises(self):
+        from repro.core.bloom import COUNTER_MAX
+
+        bloom = CountingBloomFilter(num_bits=16, num_hashes=1)
+        idx = 3
+        bloom._counts[idx] = COUNTER_MAX
+        bloom._bitview |= 1 << idx
+        with pytest.raises(OverflowError):
+            bloom.add("/x", indexes=(idx,))
+        # The failed add must not have bumped anything.
+        assert bloom._counts[idx] == COUNTER_MAX
+        assert bloom.items == 0
+
+    def test_overflow_check_precedes_partial_increment(self):
+        from repro.core.bloom import COUNTER_MAX
+
+        bloom = CountingBloomFilter(num_bits=16, num_hashes=1)
+        bloom._counts[5] = COUNTER_MAX
+        bloom._bitview |= 1 << 5
+        with pytest.raises(OverflowError):
+            bloom.add("/y", indexes=(2, 5))
+        assert bloom._counts[2] == 0  # earlier index untouched by the abort

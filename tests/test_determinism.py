@@ -51,6 +51,35 @@ class TestSimulationDeterminism:
         assert a.extras["splits"] == b.extras["splits"]
         assert list(a.latency.samples) == list(b.latency.samples)
 
+    def test_st_cache_transparent(self):
+        """Identical end state with the ST memo on vs bypassed.
+
+        The fast path is a pure optimization: every counter that the
+        evaluation reads — deliveries, duplicate drops, false-positive
+        forwards, byte/packet totals, latency samples — must be
+        bit-identical between the cached and cache-bypass data planes.
+        """
+        from repro.experiments.common import run_gcopss_backbone
+
+        game_map, generator, events = make_peak_workload(300, seed=11)
+        cached = run_gcopss_backbone(
+            events, game_map, generator.placement, num_rps=2, use_st_cache=True
+        )
+        bypass = run_gcopss_backbone(
+            events, game_map, generator.placement, num_rps=2, use_st_cache=False
+        )
+        assert list(cached.latency.samples) == list(bypass.latency.samples)
+        assert cached.network_bytes == bypass.network_bytes
+        for key in (
+            "network_packets",
+            "false_positive_forwards",
+            "duplicate_multicasts_dropped",
+            "updates_received",
+            "decapsulations",
+            "sim_events",
+        ):
+            assert cached.extras[key] == bypass.extras[key], key
+
     def test_flow_accounting_repeatable(self):
         from repro.experiments.table2_hybrid import run_table2
 
