@@ -19,7 +19,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.names import Name
 from repro.packets import Packet
-from repro.sim.network import Face, Network, Node
+from repro.sim.network import Face, Network, Node, PacketDispatcher
 from repro.sim.queues import ServiceQueue
 
 __all__ = [
@@ -86,22 +86,34 @@ class IpRouter(Node):
         super().__init__(network, name)
         self.service_time = service_time
         self.queue = ServiceQueue(self.sim, name=f"{name}.proc")
-        self.dropped_no_route = 0
         # dst -> outgoing face; the forwarding table a real IP router has.
         self._routes: Dict[str, Optional[Face]] = {}
+        self.dispatcher = PacketDispatcher(stats=self.stats, owner=name)
+        self.dispatcher.register(DatagramPacket, self._forward_datagram)
+
+    @property
+    def dropped_no_route(self) -> int:
+        return self.stats.dropped_no_route
+
+    @dropped_no_route.setter
+    def dropped_no_route(self, value: int) -> None:
+        self.stats.dropped_no_route = value
 
     def receive(self, packet: Packet, face: Face) -> None:
-        self.packets_received += 1
+        self.stats.packets_received += 1
         self.queue.submit(packet, self.service_time, self._forward)
 
     def _forward(self, packet: Packet) -> None:
-        if not isinstance(packet, DatagramPacket):
-            raise TypeError(f"{self.name}: IP router got {type(packet).__name__}")
+        # Forwarding runs post-queue; the arrival face plays no role in
+        # destination-address routing.
+        self.dispatcher.dispatch(packet, None)
+
+    def _forward_datagram(self, packet: DatagramPacket, face: Optional[Face]) -> None:
         if packet.dst == self.name:
             return  # routers are never datagram endpoints; swallow quietly
         out = self._route_to(packet.dst)
         if out is None:
-            self.dropped_no_route += 1
+            self.stats.dropped_no_route += 1
             return
         self.send(out, packet)
 
@@ -137,8 +149,27 @@ class GameServerNode(Node):
         self.per_recipient_ms = per_recipient_ms
         self.queue = ServiceQueue(self.sim, name=f"{name}.proc")
         self._subscribers: Dict[Name, Set[str]] = {}
-        self.updates_handled = 0
-        self.fanout_sent = 0
+        # Dispatch runs at receive time (pre-queue): the service time of
+        # an update depends on its recipient fan-out, so the handler must
+        # compute recipients before the queue submission.
+        self.dispatcher = PacketDispatcher(stats=self.stats, owner=name)
+        self.dispatcher.register(DatagramPacket, self._enqueue_update)
+
+    @property
+    def updates_handled(self) -> int:
+        return self.stats.updates_handled
+
+    @updates_handled.setter
+    def updates_handled(self, value: int) -> None:
+        self.stats.updates_handled = value
+
+    @property
+    def fanout_sent(self) -> int:
+        return self.stats.fanout_sent
+
+    @fanout_sent.setter
+    def fanout_sent(self, value: int) -> None:
+        self.stats.fanout_sent = value
 
     # ------------------------------------------------------------------
     # Visibility management
@@ -161,16 +192,17 @@ class GameServerNode(Node):
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, face: Face) -> None:
         """Queue an incoming update; service time scales with fan-out."""
-        self.packets_received += 1
-        if not isinstance(packet, DatagramPacket):
-            raise TypeError(f"{self.name}: server got {type(packet).__name__}")
+        self.stats.packets_received += 1
+        self.dispatcher.dispatch(packet, face)
+
+    def _enqueue_update(self, packet: DatagramPacket, face: Face) -> None:
         recipients = self.recipients_for(packet.cd, exclude=packet.src)
         service = self.base_service_ms + self.per_recipient_ms * len(recipients)
         self.queue.submit((packet, recipients), service, self._disseminate)
 
     def _disseminate(self, item: Tuple[DatagramPacket, List[str]]) -> None:
         packet, recipients = item
-        self.updates_handled += 1
+        self.stats.updates_handled += 1
         out_face = next(iter(self.faces.values()))
         for player in recipients:
             copy = DatagramPacket(
@@ -182,7 +214,7 @@ class GameServerNode(Node):
                 sequence=packet.sequence,
                 created_at=packet.created_at,
             )
-            self.fanout_sent += 1
+            self.stats.fanout_sent += 1
             self.send(out_face, copy)
 
 
@@ -197,9 +229,27 @@ class IpClientNode(Node):
     ) -> None:
         super().__init__(network, name)
         self.server_for_cd = server_for_cd
-        self.updates_received = 0
-        self.published = 0
         self.on_update: List[Callable[["IpClientNode", DatagramPacket], None]] = []
+        # Lenient: a client silently ignores stray non-datagram traffic
+        # (counted in stats.unknown_packets, never raised).
+        self.dispatcher = PacketDispatcher(stats=self.stats, owner=name, strict=False)
+        self.dispatcher.register(DatagramPacket, self._handle_update)
+
+    @property
+    def updates_received(self) -> int:
+        return self.stats.updates_received
+
+    @updates_received.setter
+    def updates_received(self, value: int) -> None:
+        self.stats.updates_received = value
+
+    @property
+    def published(self) -> int:
+        return self.stats.published
+
+    @published.setter
+    def published(self, value: int) -> None:
+        self.stats.published = value
 
     @property
     def access_face(self) -> Face:
@@ -227,15 +277,16 @@ class IpClientNode(Node):
             sequence=sequence,
             created_at=self.sim.now,
         )
-        self.published += 1
+        self.stats.published += 1
         self.send(self.access_face, packet)
         return packet
 
     def receive(self, packet: Packet, face: Face) -> None:
         """Deliver a server fan-out datagram to the update callbacks."""
-        self.packets_received += 1
-        if not isinstance(packet, DatagramPacket):
-            return
-        self.updates_received += 1
+        self.stats.packets_received += 1
+        self.dispatcher.dispatch(packet, face)
+
+    def _handle_update(self, packet: DatagramPacket, face: Face) -> None:
+        self.stats.updates_received += 1
         for callback in self.on_update:
             callback(self, packet)

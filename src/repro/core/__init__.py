@@ -19,6 +19,7 @@ Layered on the NDN substrate (:mod:`repro.ndn`), this package implements:
 
 from repro.core.balancer import RpLoadBalancer, SplitPolicy
 from repro.core.bloom import BloomFilter, CountingBloomFilter
+from repro.core.dedup import BoundedUidSet
 from repro.core.engine import GCopssHost, GCopssNetworkBuilder, GCopssRouter
 from repro.core.hierarchy import AIRSPACE, MapHierarchy
 from repro.core.packets import (
@@ -28,9 +29,12 @@ from repro.core.packets import (
     SubscribePacket,
     UnsubscribePacket,
 )
-from repro.core.hybrid import HybridMapper
+from repro.core.hybrid import HybridEdgeRole, HybridMapper
+from repro.core.planes import ControlPlane, ForwardingPlane
+from repro.core.roles import RelayRole, RpRole
 from repro.core.rp import RpTable
 from repro.core.snapshot import (
+    BrokerRole,
     CyclicSnapshotReceiver,
     QrSnapshotFetcher,
     SnapshotBroker,
@@ -42,6 +46,7 @@ __all__ = [
     "MapHierarchy",
     "BloomFilter",
     "CountingBloomFilter",
+    "BoundedUidSet",
     "SubscriptionTable",
     "RpTable",
     "SubscribePacket",
@@ -52,10 +57,16 @@ __all__ = [
     "GCopssRouter",
     "GCopssHost",
     "GCopssNetworkBuilder",
+    "ForwardingPlane",
+    "ControlPlane",
+    "RpRole",
+    "RelayRole",
     "RpLoadBalancer",
     "SplitPolicy",
     "SnapshotBroker",
+    "BrokerRole",
     "QrSnapshotFetcher",
     "CyclicSnapshotReceiver",
     "HybridMapper",
+    "HybridEdgeRole",
 ]

@@ -160,7 +160,11 @@ class RpLoadBalancer:
             self.on_split(new_rp, tuple(moved))
         if self.spawn_on_split:
             node = self.router.network.nodes[new_rp]
-            assert isinstance(node, GCopssRouter)
+            if not isinstance(node, GCopssRouter):
+                raise TypeError(
+                    f"split target {new_rp} must be a GCopssRouter, "
+                    f"got {type(node).__name__}"
+                )
             child = RpLoadBalancer(
                 node,
                 candidates=self.candidates,

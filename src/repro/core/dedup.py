@@ -1,0 +1,63 @@
+"""Bounded insertion-ordered uid dedup shared by every suppression point.
+
+Three places in the G-COPSS stack must answer "have I seen this packet
+uid before?" under bounded memory: router-side multicast replication
+(cycle/fork suppression), flood dedup for FIB control packets, and
+host-side duplicate delivery suppression during RP migration.  They all
+use this one structure.
+
+Semantics (kept bit-identical to the hand-rolled set+list pairs this
+replaces): membership is exact while a uid is inside the window; when an
+``add`` pushes the population past ``horizon``, the **oldest half** is
+evicted in one batch (amortized O(1) per add, no per-add bookkeeping).
+A uid that fell out of the window is treated as new again — bounded
+memory beats perfect dedup, and the protocols tolerate rare re-delivery.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict
+
+__all__ = ["BoundedUidSet"]
+
+
+class BoundedUidSet:
+    """Insertion-ordered uid set with oldest-half batch eviction.
+
+    Backed by a single dict (Python dicts preserve insertion order), so
+    ``add``/``contains`` are one hash probe each and eviction walks only
+    the keys it drops.  ``horizon`` is mutable: shrinking it simply makes
+    the next ``add`` evict more.
+    """
+
+    __slots__ = ("_seen", "horizon")
+
+    def __init__(self, horizon: int = 65536) -> None:
+        if horizon < 1:
+            raise ValueError(f"dedup horizon must be >= 1, got {horizon}")
+        self.horizon = horizon
+        self._seen: Dict[int, None] = {}
+
+    def add(self, uid: int) -> bool:
+        """Record ``uid``; True when it was not already in the window."""
+        seen = self._seen
+        if uid in seen:
+            return False
+        seen[uid] = None
+        if len(seen) > self.horizon:
+            for key in list(islice(iter(seen), len(seen) // 2)):
+                del seen[key]
+        return True
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def clear(self) -> None:
+        self._seen.clear()
+
+    def __repr__(self) -> str:
+        return f"BoundedUidSet({len(self._seen)}/{self.horizon})"

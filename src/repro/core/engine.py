@@ -1,10 +1,24 @@
-"""The G-COPSS router engine, end hosts and network builder.
+"""The G-COPSS router facade, end hosts and network builder.
 
 This is the paper's Fig. 2 router: an NDN forwarding engine extended with a
-COPSS engine holding the Subscription Table (ST) and the pub/sub control
-logic.  The demultiplexer ("is a NDN pkt?") is :meth:`GCopssRouter._dispatch`
-— COPSS packet types are intercepted, everything else falls through to the
-NDN pipeline, keeping query/response applications working unchanged.
+COPSS engine.  Since the plane/role split, :class:`GCopssRouter` is a thin
+facade over three composable units:
+
+* the **forwarding plane** (:class:`repro.core.planes.ForwardingPlane`) —
+  ST matching, multicast replication with uid dedup, Interest encap/decap
+  toward the RP, service-cost model;
+* the **control plane** (:class:`repro.core.planes.ControlPlane`) —
+  Subscribe/Unsubscribe propagation, FIB floods, CD handoff and the
+  three-stage join/confirm/leave migration state machine (§IV-B);
+* two attached **roles** (:class:`repro.core.roles.RpRole`,
+  :class:`repro.core.roles.RelayRole`) — the RP-served prefix set with its
+  load window and broker hooks, and the post-handoff relay map.
+
+The demultiplexer ("is a NDN pkt?") is the inherited
+:class:`~repro.sim.network.PacketDispatcher`: the facade *registers* plane
+handlers for the COPSS packet types and takes over ``Interest`` to peel RP
+tunnels, so everything else keeps flowing through the NDN pipeline and
+query/response applications work unchanged.
 
 Data path (§III-B/C):
 
@@ -18,28 +32,23 @@ Data path (§III-B/C):
 * **Subscribe** packets travel from subscribers toward the serving RP(s),
   installing reverse-path ST state and aggregating en route.
 
-RP migration (§IV-B) is implemented in three stages:
+RP migration (§IV-B) is implemented in three stages (see
+:class:`~repro.core.planes.ControlPlane` for the machinery):
 
 1. the old RP relinquishes the moved prefixes and relays arriving traffic;
 2. the **CD-handoff** packet walks the path to the new RP, reversing ST
-   entries so the entire old tree hangs off the new RP (no packet loss:
-   links and router queues are FIFO, so relayed updates always trail the
-   handoff);
+   entries so the entire old tree hangs off the new RP;
 3. the new RP floods a **FIB add**, and every router holding affected
    subscriptions re-anchors onto the shortest-path tree with the
-   pending-ST join/confirm/leave handshake — pending entries are not used
-   for forwarding until confirmed, so delivery continues over the old tree
-   throughout.
+   pending-ST join/confirm/leave handshake.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from enum import Enum, auto
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.hierarchy import MapHierarchy
+from repro.core.dedup import BoundedUidSet
 from repro.core.packets import (
     CdHandoffPacket,
     ConfirmPacket,
@@ -51,6 +60,8 @@ from repro.core.packets import (
     SubscribePacket,
     UnsubscribePacket,
 )
+from repro.core.planes import RP_NAMESPACE, ControlPlane, ForwardingPlane, rp_target_of
+from repro.core.roles import RelayRole, RpRole
 from repro.core.rp import RpTable
 from repro.core.subscriptions import SubscriptionTable
 from repro.names import Name
@@ -68,9 +79,6 @@ __all__ = [
     "DEFAULT_RP_SERVICE_MS",
 ]
 
-#: NDN namespace used to tunnel Multicast packets toward an RP.
-RP_NAMESPACE = "rp"
-
 #: Per-packet RP processing time (FIB lookup + decapsulation + ST lookup),
 #: the paper's microbenchmark-derived 3.3 ms.
 DEFAULT_RP_SERVICE_MS = 3.3
@@ -79,32 +87,28 @@ DEFAULT_RP_SERVICE_MS = 3.3
 DEFAULT_COPSS_SERVICE_MS = 0.05
 
 
-class _MigrationState(Enum):
-    PENDING = auto()
-    CONFIRMED = auto()
+def _stats_field(name: str) -> property:
+    """A read/write property aliasing one NodeStats counter."""
 
+    def fget(self):
+        return getattr(self.stats, name)
 
-@dataclass
-class _Migration:
-    """Per-epoch tree re-anchoring state at one router (stage 3)."""
+    def fset(self, value):
+        setattr(self.stats, name, value)
 
-    epoch: int
-    origin: str                       # new RP name
-    new_upstream: Optional[Face]
-    state: _MigrationState
-    join_cds: Set[Name] = field(default_factory=set)
-    affected_cds: Set[Name] = field(default_factory=set)
-    old_upstreams: Dict[Name, Set[Face]] = field(default_factory=dict)
-    pending_downstream: Dict[Face, Set[Name]] = field(default_factory=dict)
-
-
-def _intersects(cd: Name, prefixes: Iterable[Name]) -> bool:
-    """True when ``cd`` and any of ``prefixes`` cover one another."""
-    return any(p.is_prefix_of(cd) or cd.is_prefix_of(p) for p in prefixes)
+    return property(fget, fset)
 
 
 class GCopssRouter(NdnRouter):
-    """An NDN router extended with the COPSS engine (paper Fig. 2)."""
+    """An NDN router extended with the COPSS engine (paper Fig. 2).
+
+    The facade owns construction and wiring; the behavior lives in the
+    planes and roles.  Legacy attribute names (``st``, ``cd_routes``,
+    ``rp_prefixes``, the counters, ...) remain available as aliases so
+    experiment harnesses and tools keep one stable surface.
+    """
+
+    is_copss_router = True
 
     def __init__(
         self,
@@ -116,558 +120,155 @@ class GCopssRouter(NdnRouter):
     ) -> None:
         super().__init__(network, name, service_time=service_time, cs_capacity=cs_capacity)
         self.rp_service_time = rp_service_time
-        # Grace period before detaching from the old tree after a
-        # migration confirm (see _handle_confirm).  No-loss holds as long
-        # as every packet already committed to the old tree drains within
-        # this window, so it must cover the network diameter plus the
-        # worst queueing delay at the moment a split triggers — with the
-        # default balancer threshold of 40 packets at 3.3 ms RP service,
-        # that is ~130 ms of backlog; 400 ms leaves ample margin.  The
-        # cost of a generous linger is only a brief window of duplicate
-        # deliveries, which uid dedup suppresses.
-        self.leave_linger_ms = 400.0
-        self.st: SubscriptionTable[Face] = SubscriptionTable()
-        # CD prefix -> name of the serving RP (longest-prefix matched).
-        self.cd_routes: Fib[str] = Fib()
-        # RP name -> local face on the shortest path toward it.
-        self.rp_route: Dict[str, Face] = {}
-        # Prefixes this router currently serves as RP.
-        self.rp_prefixes: Set[Name] = set()
-        # Prefixes handed off: publications still arriving here are relayed.
-        self.relinquished: Dict[Name, str] = {}
-        # cd -> faces we sent Subscribe/Join on (upstream tree pointers).
-        self._upstream_joined: Dict[Name, Set[Face]] = {}
-        self._seen_floods: Set[int] = set()
-        self._migrations: Dict[int, _Migration] = {}
-        # Sliding window of serving prefixes of recently decapsulated
-        # packets; the load balancer reads this to pick which CDs to shed.
-        # A bounded deque: appends past the window evict O(1) instead of
-        # the old list's slice-delete.
-        self.rp_window_size = 2000
-        self.rp_recent_cds: Deque[Name] = deque(maxlen=self.rp_window_size)
-        # Replication dedup: a router never needs to replicate the same
-        # update twice (in a consistent tree it sees each update once; the
-        # second copy a migration fork can deliver is redundant, and this
-        # also hard-stops any Bloom-false-positive forwarding cycle).
-        self._replicated_uids: Set[int] = set()
-        self._replicated_order: List[int] = []
-        self._dedup_horizon = 65536
-        # Counters.
-        self.decapsulations = 0
-        self.multicasts_forwarded = 0
-        self.relays = 0
-        self.multicast_dropped_no_rp = 0
-        self.duplicate_multicasts_dropped = 0
-        self.unsubscribe_misses = 0
-        # Hook invoked as fn(router, serving_prefix) after each decap.
-        self.on_decap: List[Callable[["GCopssRouter", Name], None]] = []
-        # Subscriber-presence hooks (paper §IV-A): a cyclic-multicast broker
-        # starts on the first Subscribe for its group CD and stops on the
-        # last Unsubscribe.  Fired only for CDs this router serves as RP.
-        self.on_subscriber_appeared: List[Callable[[Name], None]] = []
-        self.on_subscriber_vanished: List[Callable[[Name], None]] = []
+        self.rp_role: RpRole = self.attach_role(RpRole())
+        self.relay_role: RelayRole = self.attach_role(RelayRole())
+        st: SubscriptionTable[Face] = SubscriptionTable()
+        self.control = ControlPlane(self, st=st, rp=self.rp_role, relay=self.relay_role)
+        self.forwarding = ForwardingPlane(
+            self, st=st, rp=self.rp_role, relay=self.relay_role, control=self.control
+        )
+        dispatcher = self.dispatcher
+        dispatcher.register(MulticastPacket, self.forwarding.handle_multicast)
+        # Takes over Interest from the NDN base: RP tunnels are peeled, plain
+        # Interests fall through to the inherited CS/PIT/FIB pipeline.
+        dispatcher.register(Interest, self.forwarding.handle_interest)
+        dispatcher.register(SubscribePacket, self.control.handle_subscribe)
+        dispatcher.register(UnsubscribePacket, self.control.handle_unsubscribe)
+        dispatcher.register(FibAddPacket, self.control.handle_fib_add)
+        dispatcher.register(FibRemovePacket, self.control.handle_fib_remove)
+        dispatcher.register(CdHandoffPacket, self.control.handle_handoff)
+        dispatcher.register(JoinPacket, self.control.handle_join)
+        dispatcher.register(ConfirmPacket, self.control.handle_confirm)
+        dispatcher.register(LeavePacket, self.control.handle_leave)
 
     # ------------------------------------------------------------------
     # Queueing / service model
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, face: Face) -> None:
-        self.packets_received += 1
-        self.queue.submit((packet, face), self._service_cost(packet, face), self._serve)
+        self.stats.packets_received += 1
+        self.queue.submit(
+            (packet, face), self.forwarding.service_cost(packet, face), self._serve
+        )
 
     def _service_cost(self, packet: Packet, face: Face) -> float:
-        """RP decapsulation costs :attr:`rp_service_time`; all else is fast."""
-        if isinstance(packet, Interest) and isinstance(packet.payload, MulticastPacket):
-            if (
-                self._rp_target_of(packet) == self.name
-                and self._serving_prefix(packet.payload.cd) is not None
-            ):
-                return self.rp_service_time
-        elif isinstance(packet, MulticastPacket) and not isinstance(
-            face.peer, GCopssRouter
-        ):
-            # First-hop publish whose access router is itself the RP.
-            if self._serving_prefix(packet.cd) is not None:
-                return self.rp_service_time
-        return self.service_time
+        return self.forwarding.service_cost(packet, face)
 
     # ------------------------------------------------------------------
-    # Dispatch
-    # ------------------------------------------------------------------
-    def _dispatch(self, packet: Packet, face: Face) -> None:
-        if isinstance(packet, MulticastPacket):
-            self._handle_multicast(packet, face)
-        elif isinstance(packet, Interest) and isinstance(packet.payload, MulticastPacket):
-            self._handle_encapsulated(packet, face)
-        elif isinstance(packet, SubscribePacket):
-            self._handle_subscribe(packet, face)
-        elif isinstance(packet, UnsubscribePacket):
-            self._remove_subscriptions(packet.cds, face, strict=True)
-        elif isinstance(packet, FibAddPacket):
-            self._handle_fib_add(packet, face)
-        elif isinstance(packet, FibRemovePacket):
-            self._handle_fib_remove(packet, face)
-        elif isinstance(packet, CdHandoffPacket):
-            self._handle_handoff(packet, face)
-        elif isinstance(packet, JoinPacket):
-            self._handle_join(packet, face)
-        elif isinstance(packet, ConfirmPacket):
-            self._handle_confirm(packet, face)
-        elif isinstance(packet, LeavePacket):
-            self._remove_subscriptions(packet.prefixes, face, strict=False)
-        else:
-            super()._dispatch(packet, face)
-
-    # ------------------------------------------------------------------
-    # RP role helpers
+    # RP role helpers / control-plane entry points
     # ------------------------------------------------------------------
     def _serving_prefix(self, cd: Name) -> Optional[Name]:
-        """The rp_prefix under which this router serves ``cd``, if any.
-
-        Set-membership probes over the CD's cached prefix chain: prefix-
-        freeness of the RP assignment guarantees at most one hit, so the
-        walk order is immaterial.  This runs in the per-packet service-
-        cost estimate, so it must not scan ``rp_prefixes`` linearly.
-        """
-        serving = self.rp_prefixes
-        if not serving:
-            return None
-        for prefix in cd.prefixes():
-            if prefix in serving:
-                return prefix
-        return None
+        return self.rp_role.serving_prefix(cd)
 
     def _relinquished_to(self, cd: Name) -> Optional[str]:
-        """Longest relinquished prefix covering ``cd``, via dict probes."""
-        relinquished = self.relinquished
-        if not relinquished:
-            return None
-        for prefix in reversed(cd.prefixes()):
-            new_rp = relinquished.get(prefix)
-            if new_rp is not None:
-                return new_rp
-        return None
+        return self.relay_role.relay_target(cd)
 
-    @staticmethod
-    def _rp_target_of(interest: Interest) -> str:
-        name = interest.name
-        if name.depth < 2 or name[0] != RP_NAMESPACE:
-            raise ValueError(f"not an RP tunnel name: {name}")
-        return name[1]
+    _rp_target_of = staticmethod(rp_target_of)
 
-    def _encapsulate_toward(self, mcast: MulticastPacket, rp: str) -> None:
-        face = self.rp_route.get(rp)
-        if face is None:
-            # The FIB flood for a brand-new RP may not have reached us yet;
-            # fall back to topology-shortest-path routing rather than drop.
-            try:
-                face = self.face_toward(self.network.next_hop(self.name, rp))
-            except Exception:
-                self.multicast_dropped_no_rp += 1
-                return
-        tunnel = Interest(
-            name=Name([RP_NAMESPACE, rp]),
-            payload=mcast,
-            created_at=mcast.created_at,
-        )
-        self.send(face, tunnel)
-
-    # ------------------------------------------------------------------
-    # Multicast data path
-    # ------------------------------------------------------------------
-    def _handle_multicast(self, mcast: MulticastPacket, face: Face) -> None:
-        if isinstance(face.peer, GCopssRouter):
-            # Down-tree replication of an already-decapsulated update.
-            self._replicate(mcast, exclude=face)
-            return
-        # First hop: a locally attached publisher handed us an update.
-        serving = self._serving_prefix(mcast.cd)
-        if serving is not None:
-            self._decapsulated(mcast, serving, exclude=face)
-            return
-        relinquished = self._relinquished_to(mcast.cd)
-        if relinquished is not None:
-            self.relays += 1
-            self._encapsulate_toward(mcast, relinquished)
-            return
-        targets = self.cd_routes.lookup(mcast.cd)
-        if not targets:
-            self.multicast_dropped_no_rp += 1
-            return
-        self._encapsulate_toward(mcast, min(targets))
-
-    def _handle_encapsulated(self, tunnel: Interest, face: Face) -> None:
-        target = self._rp_target_of(tunnel)
-        mcast = tunnel.payload
-        if target == self.name:
-            serving = self._serving_prefix(mcast.cd)
-            if serving is not None:
-                self._decapsulated(mcast, serving, exclude=None)
-                return
-            relinquished = self._relinquished_to(mcast.cd)
-            if relinquished is not None:
-                self.relays += 1
-                self._encapsulate_toward(mcast, relinquished)
-                return
-            self.multicast_dropped_no_rp += 1
-            return
-        out = self.rp_route.get(target)
-        if out is None:
-            self.multicast_dropped_no_rp += 1
-            return
-        out.send(tunnel)  # per-hop tunnel forward: skip the ownership re-check
-
-    def _decapsulated(
-        self, mcast: MulticastPacket, serving: Name, exclude: Optional[Face]
-    ) -> None:
-        self.decapsulations += 1
-        self.rp_recent_cds.append(serving)  # deque maxlen evicts the oldest
-        for hook in self.on_decap:
-            hook(self, serving)
-        self._replicate(mcast, exclude=exclude)
-
-    def _replicate(self, mcast: MulticastPacket, exclude: Optional[Face]) -> None:
-        if mcast.uid in self._replicated_uids:
-            self.duplicate_multicasts_dropped += 1
-            return
-        self._replicated_uids.add(mcast.uid)
-        self._replicated_order.append(mcast.uid)
-        if len(self._replicated_order) > self._dedup_horizon:
-            half = len(self._replicated_order) // 2
-            self._replicated_uids.difference_update(self._replicated_order[:half])
-            del self._replicated_order[:half]
-        forwarded = 0
-        for out in self.st.match(mcast.cd):
-            if out is not exclude:
-                forwarded += 1
-                out.send(mcast)  # faces from our own ST; skip the self.send ownership re-check
-        self.multicasts_forwarded += forwarded
-
-    # ------------------------------------------------------------------
-    # Subscription control path
-    # ------------------------------------------------------------------
-    def _handle_subscribe(self, sub: SubscribePacket, face: Face) -> None:
-        for cd in sub.cds:
-            appeared = (
-                bool(self.on_subscriber_appeared)
-                and self._serving_prefix(cd) is not None
-                and cd not in self.st.all_cds()
-            )
-            first = self.st.ensure(face, cd)
-            if first:
-                self._join_upstream(cd)
-            if appeared:
-                for hook in self.on_subscriber_appeared:
-                    hook(cd)
-
-    def _join_upstream(self, cd: Name) -> None:
-        """Propagate a subscription toward every RP relevant to ``cd``."""
-        if self._serving_prefix(cd) is not None:
-            return  # we are the root for this CD
-        targets: Set[str] = set(self.cd_routes.lookup(cd))
-        if not targets:
-            for _prefix, rps in self.cd_routes.entries_under(cd).items():
-                targets.update(rps)
-        # Aggregate subscriptions may also span prefixes we serve ourselves.
-        targets.discard(self.name)
-        joined = self._upstream_joined.setdefault(cd, set())
-        out_faces = set()
-        for rp in targets:
-            out = self.rp_route.get(rp)
-            if out is not None and out not in joined:
-                out_faces.add(out)
-        for out in out_faces:
-            joined.add(out)
-            self.send(out, SubscribePacket(cds=(cd,), created_at=self.sim.now))
-        if not joined:
-            self._upstream_joined.pop(cd, None)
-
-    def _remove_subscriptions(
-        self, cds: Tuple[Name, ...], face: Face, strict: bool
-    ) -> None:
-        """Shared by Unsubscribe (strict) and Leave (lenient) handling.
-
-        Even the "strict" path tolerates a missing entry: a migration
-        Leave detaches a branch wholesale (all refcounts at once), so a
-        later refcounted Unsubscribe from a subscriber that had been
-        aggregated behind that branch can legitimately find nothing left
-        to remove.  Such events are counted, not raised.
-        """
-        for cd in cds:
-            if strict:
-                try:
-                    vanished = self.st.unsubscribe(face, cd)
-                except KeyError:
-                    self.unsubscribe_misses += 1
-                    continue
-            else:
-                vanished = self.st.remove_all(face, cd) > 0
-            if vanished and not self.st.has_any_subscriber(cd):
-                for out in self._upstream_joined.pop(cd, set()):
-                    self.send(out, UnsubscribePacket(cds=(cd,), created_at=self.sim.now))
-            if (
-                vanished
-                and self.on_subscriber_vanished
-                and self._serving_prefix(cd) is not None
-                and cd not in self.st.all_cds()
-            ):
-                for hook in self.on_subscriber_vanished:
-                    hook(cd)
-
-    # ------------------------------------------------------------------
-    # Stage 1+2: CD handoff (old RP -> new RP, reversing the path STs)
-    # ------------------------------------------------------------------
     def initiate_handoff(self, prefixes: Iterable[Name], new_rp: str) -> CdHandoffPacket:
-        """Old-RP side of a split: relinquish ``prefixes`` and start relaying.
+        """Old-RP side of a split (stage 1); called by the load balancer."""
+        return self.control.initiate_handoff(prefixes, new_rp)
 
-        Called by the load balancer.  Returns the handoff packet (mostly
-        for tests).
-        """
-        moved = tuple(sorted(Name.coerce(p) for p in prefixes))
-        for prefix in moved:
-            if prefix not in self.rp_prefixes:
-                raise ValueError(f"{self.name} does not serve {prefix}")
-        next_hop = self.network.next_hop(self.name, new_rp)
-        out = self.face_toward(next_hop)
-        for prefix in moved:
-            self.rp_prefixes.discard(prefix)
-            self.relinquished[prefix] = new_rp
-        # Relayed publications must reach the new RP before its FIB flood
-        # comes back around; the handoff path itself is the route.
-        self.rp_route[new_rp] = out
-        self._reverse_st_toward(moved, out)
-        self._flip_upstreams(moved, out)
-        packet = CdHandoffPacket(
-            prefixes=moved, old_rp=self.name, new_rp=new_rp, created_at=self.sim.now
-        )
-        self.send(out, packet)
-        return packet
-
-    def _reverse_st_toward(self, moved: Tuple[Name, ...], path_face: Face) -> None:
-        """Detach the branch toward the new RP; it is now upstream."""
-        for cd in self.st.cds_on(path_face):
-            if _intersects(cd, moved):
-                self.st.remove_all(path_face, cd)
-
-    def _flip_upstreams(self, moved: Tuple[Name, ...], new_up: Optional[Face]) -> None:
-        """Point upstream-tree state for everything under ``moved`` at ``new_up``."""
-        affected = [
-            cd
-            for cd in set(self._upstream_joined) | self.st.all_cds() | set(moved)
-            if _intersects(cd, moved)
-        ]
-        for cd in affected:
-            if new_up is None:
-                self._upstream_joined.pop(cd, None)
-            else:
-                self._upstream_joined[cd] = {new_up}
-
-    def _handle_handoff(self, packet: CdHandoffPacket, face: Face) -> None:
-        moved = packet.prefixes
-        if self.name == packet.new_rp:
-            # We are the new root: adopt the prefixes, hang the old tree off
-            # the arrival face, and announce ourselves network-wide.
-            for prefix in moved:
-                self.rp_prefixes.add(prefix)
-                self.st.ensure(face, prefix)
-            self._flip_upstreams(moved, None)
-            flood = FibAddPacket(
-                prefixes=moved, origin=self.name, created_at=self.sim.now
-            )
-            self._handle_fib_add(flood, face=None)
-            return
-        # Intermediate path router: reverse the tree edge through us.
-        next_hop = self.network.next_hop(self.name, packet.new_rp)
-        out = self.face_toward(next_hop)
-        self.rp_route[packet.new_rp] = out
-        for prefix in moved:
-            self.st.ensure(face, prefix)
-        self._reverse_st_toward(moved, out)
-        self._flip_upstreams(moved, out)
-        self.send(out, packet)
-
-    # ------------------------------------------------------------------
-    # Stage 3: FIB flood and join/confirm/leave re-anchoring
-    # ------------------------------------------------------------------
     def _handle_fib_add(self, packet: FibAddPacket, face: Optional[Face]) -> None:
-        if packet.uid in self._seen_floods:
-            return
-        self._seen_floods.add(packet.uid)
-        for prefix in packet.prefixes:
-            if self.cd_routes.has_prefix(prefix):
-                self.cd_routes.remove_prefix(prefix)
-            self.cd_routes.add(prefix, packet.origin)
-        if packet.origin != self.name and face is not None:
-            # Flood-learn: the first copy arrived along the fastest path.
-            self.rp_route[packet.origin] = face
-        for out in self.faces.values():
-            if out is not face and isinstance(out.peer, GCopssRouter):
-                self.send(out, packet)
-        if packet.origin != self.name:
-            self._maybe_start_migration(packet)
+        self.control.handle_fib_add(packet, face)
 
     def _handle_fib_remove(self, packet: FibRemovePacket, face: Optional[Face]) -> None:
-        """Withdraw CD routes (an RP retiring prefixes without a successor).
+        self.control.handle_fib_remove(packet, face)
 
-        Flooded like FIB-add; a publisher edge whose route disappears
-        counts subsequent publications as unroutable rather than looping
-        them.  Routes for prefixes the flood does not name are untouched,
-        so a coarser covering prefix (if any) takes over via LPM.
-        """
-        if packet.uid in self._seen_floods:
-            return
-        self._seen_floods.add(packet.uid)
-        for prefix in packet.prefixes:
-            if self.cd_routes.has_prefix(prefix):
-                self.cd_routes.remove_prefix(prefix)
-        if packet.origin == self.name:
-            self.rp_prefixes.difference_update(packet.prefixes)
-        for out in self.faces.values():
-            if out is not face and isinstance(out.peer, GCopssRouter):
-                self.send(out, packet)
+    # ------------------------------------------------------------------
+    # Aliases: plane/role state under the historical attribute names
+    # ------------------------------------------------------------------
+    @property
+    def st(self) -> SubscriptionTable[Face]:
+        return self.forwarding.st
 
-    def _maybe_start_migration(self, packet: FibAddPacket) -> None:
-        moved = packet.prefixes
-        affected = {
-            cd
-            for cd in set(self._upstream_joined) | self.st.all_cds()
-            if _intersects(cd, moved)
-        }
-        if not affected:
-            return
-        if any(self._serving_prefix(cd) is not None for cd in affected):
-            # Shouldn't happen: prefix-freeness keeps served CDs disjoint.
-            return
-        new_up = self.rp_route.get(packet.origin)
-        if new_up is None:
-            return
-        old_upstreams = {
-            cd: set(self._upstream_joined.get(cd, set())) for cd in affected
-        }
-        needs_move = [
-            cd for cd in affected if old_upstreams[cd] and old_upstreams[cd] != {new_up}
-        ]
-        migration = _Migration(
-            epoch=packet.uid,
-            origin=packet.origin,
-            new_upstream=new_up,
-            state=_MigrationState.CONFIRMED if not needs_move else _MigrationState.PENDING,
-            join_cds=set(needs_move),
-            affected_cds=set(affected),
-            old_upstreams=old_upstreams,
-        )
-        self._migrations[packet.uid] = migration
-        if needs_move:
-            self.send(
-                new_up,
-                JoinPacket(
-                    prefixes=tuple(sorted(needs_move)),
-                    epoch=packet.uid,
-                    origin=packet.origin,
-                    created_at=self.sim.now,
-                ),
-            )
+    @property
+    def cd_routes(self) -> Fib[str]:
+        return self.control.cd_routes
 
-    def _handle_join(self, packet: JoinPacket, face: Face) -> None:
-        cds = set(packet.prefixes)
-        if self.name == packet.origin or any(
-            self._serving_prefix(cd) is not None for cd in cds
-        ):
-            # We are the new root: the branch attaches immediately.
-            for cd in cds:
-                self.st.ensure(face, cd)
-            self.send(face, ConfirmPacket(epoch=packet.epoch, created_at=self.sim.now))
-            return
-        migration = self._migrations.get(packet.epoch)
-        if migration is not None and migration.state is _MigrationState.CONFIRMED:
-            for cd in cds:
-                first = self.st.ensure(face, cd)
-                if first:
-                    self._join_upstream(cd)
-            self.send(face, ConfirmPacket(epoch=packet.epoch, created_at=self.sim.now))
-            return
-        if migration is None:
-            new_up = self.rp_route.get(packet.origin)
-            if new_up is None:
-                next_hop = self.network.next_hop(self.name, packet.origin)
-                new_up = self.face_toward(next_hop)
-            migration = _Migration(
-                epoch=packet.epoch,
-                origin=packet.origin,
-                new_upstream=new_up,
-                state=_MigrationState.PENDING,
-                join_cds=set(),
-            )
-            self._migrations[packet.epoch] = migration
-            migration.pending_downstream[face] = set(cds)
-            migration.join_cds = set(cds)
-            self.send(
-                migration.new_upstream,
-                JoinPacket(
-                    prefixes=tuple(sorted(cds)),
-                    epoch=packet.epoch,
-                    origin=packet.origin,
-                    created_at=self.sim.now,
-                ),
-            )
-            return
-        # PENDING: stash the request; forward any CDs not yet covered.
-        migration.pending_downstream.setdefault(face, set()).update(cds)
-        delta = cds - migration.join_cds
-        if delta:
-            migration.join_cds |= delta
-            self.send(
-                migration.new_upstream,
-                JoinPacket(
-                    prefixes=tuple(sorted(delta)),
-                    epoch=packet.epoch,
-                    origin=packet.origin,
-                    created_at=self.sim.now,
-                ),
-            )
+    @property
+    def rp_route(self) -> Dict[str, Face]:
+        return self.control.rp_route
 
-    def _handle_confirm(self, packet: ConfirmPacket, face: Face) -> None:
-        migration = self._migrations.get(packet.epoch)
-        if migration is None or migration.state is _MigrationState.CONFIRMED:
-            return
-        migration.state = _MigrationState.CONFIRMED
-        # Activate pending downstream branches.
-        for down_face, cds in migration.pending_downstream.items():
-            for cd in cds:
-                self.st.ensure(down_face, cd)
-            self.send(
-                down_face, ConfirmPacket(epoch=packet.epoch, created_at=self.sim.now)
-            )
-        # Switch our own upstream pointers and leave the old tree.  Only
-        # CDs we actually joined for are re-pointed: affected CDs that were
-        # already anchored at the new upstream (or had no upstream at all)
-        # must not gain a phantom upstream pointer, or a later unsubscribe
-        # would tear down state we never installed.
-        new_up = migration.new_upstream
-        leaves: Dict[Face, Set[Name]] = {}
-        for cd in migration.join_cds:
-            joined = self._upstream_joined.setdefault(cd, set())
-            olds = set(migration.old_upstreams.get(cd, set()))
-            for old in olds:
-                if old is not new_up:
-                    leaves.setdefault(old, set()).add(cd)
-                    joined.discard(old)
-            joined.add(new_up)
-        # Leave the old branch only after a linger period: a packet that
-        # was decapsulated at the new RP before our Join reached it may
-        # still be in flight on the (longer) old path, and an immediate
-        # Leave upstream would cut it off.  During the linger both branches
-        # are live; the duplicate copies are suppressed by uid dedup.
-        for old_face, cds in leaves.items():
-            self.sim.schedule(
-                self.leave_linger_ms,
-                self.send,
-                old_face,
-                LeavePacket(
-                    prefixes=tuple(sorted(cds)),
-                    epoch=packet.epoch,
-                    created_at=self.sim.now,
-                ),
-            )
+    @property
+    def rp_prefixes(self) -> Set[Name]:
+        return self.rp_role.prefixes
+
+    @rp_prefixes.setter
+    def rp_prefixes(self, value: Iterable[Name]) -> None:
+        self.rp_role.prefixes = set(value)
+
+    @property
+    def relinquished(self) -> Dict[Name, str]:
+        return self.relay_role.relinquished
+
+    @relinquished.setter
+    def relinquished(self, value: Dict[Name, str]) -> None:
+        self.relay_role.relinquished = dict(value)
+
+    @property
+    def rp_recent_cds(self) -> Deque[Name]:
+        return self.rp_role.recent_cds
+
+    @rp_recent_cds.setter
+    def rp_recent_cds(self, value: Iterable[Name]) -> None:
+        self.rp_role.recent_cds = deque(value, maxlen=self.rp_role.window_size)
+
+    @property
+    def rp_window_size(self) -> int:
+        return self.rp_role.window_size
+
+    @rp_window_size.setter
+    def rp_window_size(self, value: int) -> None:
+        self.rp_role.window_size = value
+        self.rp_role.recent_cds = deque(self.rp_role.recent_cds, maxlen=value)
+
+    @property
+    def leave_linger_ms(self) -> float:
+        return self.control.leave_linger_ms
+
+    @leave_linger_ms.setter
+    def leave_linger_ms(self, value: float) -> None:
+        self.control.leave_linger_ms = value
+
+    @property
+    def on_decap(self) -> List[Callable[["GCopssRouter", Name], None]]:
+        return self.rp_role.on_decap
+
+    @property
+    def on_subscriber_appeared(self) -> List[Callable[[Name], None]]:
+        return self.rp_role.on_subscriber_appeared
+
+    @property
+    def on_subscriber_vanished(self) -> List[Callable[[Name], None]]:
+        return self.rp_role.on_subscriber_vanished
+
+    @property
+    def _upstream_joined(self) -> Dict[Name, Set[Face]]:
+        return self.control._upstream_joined
+
+    @property
+    def _seen_floods(self) -> BoundedUidSet:
+        return self.control.seen_floods
+
+    @property
+    def _migrations(self) -> Dict[int, object]:
+        return self.control.migrations
+
+    @property
+    def _dedup_horizon(self) -> int:
+        return self.forwarding.replicated.horizon
+
+    @_dedup_horizon.setter
+    def _dedup_horizon(self, value: int) -> None:
+        self.forwarding.replicated.horizon = value
+
+    # Counters (shared NodeStats block, written by the planes).
+    decapsulations = _stats_field("decapsulations")
+    multicasts_forwarded = _stats_field("multicasts_forwarded")
+    relays = _stats_field("relays")
+    multicast_dropped_no_rp = _stats_field("multicast_dropped_no_rp")
+    duplicate_multicasts_dropped = _stats_field("duplicate_multicasts_dropped")
+    unsubscribe_misses = _stats_field("unsubscribe_misses")
 
 
 class GCopssHost(NdnHost):
@@ -678,20 +279,28 @@ class GCopssHost(NdnHost):
     full NDN host API (``express_interest`` / ``serve``) so the same host
     can fetch snapshots query/response style.  Duplicate deliveries
     (possible transiently during RP migration) are suppressed by packet
-    uid.
+    uid through a bounded dedup window.
     """
 
     def __init__(self, network: Network, name: str, dedup_horizon: int = 65536) -> None:
         super().__init__(network, name)
         self.subscriptions: Set[Name] = set()
         self.on_update: List[Callable[["GCopssHost", MulticastPacket], None]] = []
-        self.updates_received = 0
-        self.duplicates_suppressed = 0
-        self.own_updates_echoed = 0
-        self.published = 0
-        self._seen_uids: Set[int] = set()
-        self._seen_order: List[int] = []
-        self._dedup_horizon = dedup_horizon
+        self._seen = BoundedUidSet(dedup_horizon)
+        self.dispatcher.register(MulticastPacket, self._handle_update)
+
+    updates_received = _stats_field("updates_received")
+    duplicates_suppressed = _stats_field("duplicates_suppressed")
+    own_updates_echoed = _stats_field("own_updates_echoed")
+    published = _stats_field("published")
+
+    @property
+    def _dedup_horizon(self) -> int:
+        return self._seen.horizon
+
+    @_dedup_horizon.setter
+    def _dedup_horizon(self, value: int) -> None:
+        self._seen.horizon = value
 
     @property
     def access_face(self) -> Face:
@@ -745,35 +354,24 @@ class GCopssHost(NdnHost):
             sequence=sequence,
             created_at=self.sim.now,
         )
-        self.published += 1
+        self.stats.published += 1
         self.send(self.access_face, packet)
         return packet
 
     # ------------------------------------------------------------------
-    # Receive path
+    # Receive path (NDN traffic flows through the inherited dispatcher)
     # ------------------------------------------------------------------
-    def receive(self, packet: Packet, face: Face) -> None:
-        """Dispatch updates to callbacks; NDN traffic goes to the base."""
-        if not isinstance(packet, MulticastPacket):
-            super().receive(packet, face)  # Interest/Data via the NDN host
-            return
-        self.packets_received += 1
+    def _handle_update(self, packet: MulticastPacket, face: Face) -> None:
         if packet.publisher == self.name:
             # A subscribed publisher hears its own update come back down
             # the tree (unless its access router happened to be the RP);
             # suppress uniformly — the player already knows its action.
-            self.own_updates_echoed += 1
+            self.stats.own_updates_echoed += 1
             return
-        if packet.uid in self._seen_uids:
-            self.duplicates_suppressed += 1
+        if not self._seen.add(packet.uid):
+            self.stats.duplicates_suppressed += 1
             return
-        self._seen_uids.add(packet.uid)
-        self._seen_order.append(packet.uid)
-        if len(self._seen_order) > self._dedup_horizon:
-            drop = self._seen_order[: len(self._seen_order) // 2]
-            del self._seen_order[: len(self._seen_order) // 2]
-            self._seen_uids.difference_update(drop)
-        self.updates_received += 1
+        self.stats.updates_received += 1
         for callback in self.on_update:
             callback(self, packet)
 
@@ -817,5 +415,12 @@ class GCopssNetworkBuilder:
                 router.rp_route[rp_name] = router.face_toward(next_hop)
         for prefix, rp_name in self.rp_table:
             rp_router = self.network.nodes[rp_name]
-            assert isinstance(rp_router, GCopssRouter)
+            if not isinstance(rp_router, GCopssRouter):
+                # Unlike an assert, this survives ``python -O``: a topology
+                # that maps an RP name onto a non-router must fail loudly,
+                # not silently mis-install its prefixes.
+                raise TypeError(
+                    f"RP {rp_name} must be a GCopssRouter, got "
+                    f"{type(rp_router).__name__}"
+                )
             rp_router.rp_prefixes.add(prefix)

@@ -10,8 +10,12 @@ IP group, messages also reach edges with no matching subscriber; the
 receiver-side edge router filters those out — wasted transmissions are the
 price of deployability, measured in Table II.
 
-:class:`HybridMapper` implements the CD -> group mapping and the edge
-subscription/filter logic; the experiment harness combines it with
+The per-edge state (exact subscriptions + joined IP groups) is a
+:class:`HybridEdgeRole` — the same attachable-role shape as the router's
+RP/relay roles, so a simulated node can *carry* hybrid-edge behavior.
+:class:`HybridMapper` owns the CD -> group mapping, keeps one role per
+edge (attaching it when the edge key is a :class:`~repro.sim.network.Node`)
+and classifies deliveries; the experiment harness combines it with
 :class:`~repro.sim.flows.FlowAccountant` for load/latency accounting.
 """
 
@@ -21,12 +25,37 @@ import hashlib
 from typing import Dict, Hashable, Iterable, List, Set, Tuple
 
 from repro.names import Name
+from repro.sim.network import Node
+from repro.sim.roles import Role
 
-__all__ = ["HybridMapper"]
+__all__ = ["HybridMapper", "HybridEdgeRole"]
 
 
 def _stable_hash(text: str) -> int:
     return int.from_bytes(hashlib.blake2b(text.encode(), digest_size=8).digest(), "big")
+
+
+class HybridEdgeRole(Role):
+    """Hybrid-edge state carried by one COPSS edge router.
+
+    ``subscriptions`` is the edge's exact COPSS ST (what locally attached
+    clients asked for); ``groups`` is the set of IP multicast groups the
+    edge has joined to cover them.  The receiver-side filter
+    (:meth:`wants`) is what turns over-broad group deliveries back into
+    exact pub/sub semantics.
+    """
+
+    ROLE_NAME = "hybrid-edge"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.subscriptions: Set[Name] = set()
+        self.groups: Set[int] = set()
+
+    def wants(self, cd: Name) -> bool:
+        """Receiver-side filter: does any local subscription match ``cd``?"""
+        subs = self.subscriptions
+        return any(prefix in subs for prefix in cd.prefixes())
 
 
 class HybridMapper:
@@ -37,6 +66,10 @@ class HybridMapper:
     selects which prefix level is hashed: depth 1 hashes top-level CDs, so
     an entire region (and everything below it) shares one group —
     exactly the aggregation §III-D describes.
+
+    Edges are identified by any hashable key; when the key is a simulated
+    :class:`~repro.sim.network.Node`, its :class:`HybridEdgeRole` is also
+    attached to the node (and detached when the last subscription goes).
     """
 
     def __init__(self, num_groups: int, hash_depth: int = 1) -> None:
@@ -46,10 +79,8 @@ class HybridMapper:
             raise ValueError("hash_depth must be >= 0")
         self.num_groups = num_groups
         self.hash_depth = hash_depth
-        # Edge name -> exact CD subscription sets (the edge's COPSS ST).
-        self._edge_subscriptions: Dict[Hashable, Set[Name]] = {}
-        # Edge name -> IP groups joined.
-        self._edge_groups: Dict[Hashable, Set[int]] = {}
+        # Edge key -> its role (subscriptions + joined groups).
+        self._edges: Dict[Hashable, HybridEdgeRole] = {}
         self.filtered_deliveries = 0
         self.useful_deliveries = 0
 
@@ -78,37 +109,56 @@ class HybridMapper:
     # ------------------------------------------------------------------
     # Edge state
     # ------------------------------------------------------------------
+    def edge_role(self, edge: Hashable) -> "HybridEdgeRole | None":
+        """The role carrying ``edge``'s state, or None if it has none."""
+        return self._edges.get(edge)
+
+    def _ensure_edge(self, edge: Hashable) -> HybridEdgeRole:
+        role = self._edges.get(edge)
+        if role is None:
+            role = HybridEdgeRole()
+            self._edges[edge] = role
+            if isinstance(edge, Node):
+                edge.attach_role(role)
+        return role
+
+    def _drop_edge(self, edge: Hashable) -> None:
+        role = self._edges.pop(edge, None)
+        if role is not None and isinstance(edge, Node):
+            edge.detach_role(HybridEdgeRole.ROLE_NAME)
+
     def subscribe(self, edge: Hashable, cds: Iterable["Name | str"]) -> None:
         """Record subscriptions at an edge and join the needed groups."""
-        subs = self._edge_subscriptions.setdefault(edge, set())
-        groups = self._edge_groups.setdefault(edge, set())
+        role = self._ensure_edge(edge)
         for cd in cds:
             cd = Name.coerce(cd)
-            subs.add(cd)
-            groups.update(self.groups_for_subscription(cd))
+            role.subscriptions.add(cd)
+            role.groups.update(self.groups_for_subscription(cd))
 
     def unsubscribe(self, edge: Hashable, cds: Iterable["Name | str"]) -> None:
         """Drop subscriptions and leave groups no longer needed."""
-        subs = self._edge_subscriptions.get(edge)
-        if subs is None:
+        role = self._edges.get(edge)
+        if role is None:
             return
         for cd in cds:
-            subs.discard(Name.coerce(cd))
+            role.subscriptions.discard(Name.coerce(cd))
         self._rebuild_groups(edge)
 
     def _rebuild_groups(self, edge: Hashable) -> None:
-        subs = self._edge_subscriptions.get(edge, set())
+        role = self._edges.get(edge)
+        if role is None:
+            return
         groups: Set[int] = set()
-        for cd in subs:
+        for cd in role.subscriptions:
             groups.update(self.groups_for_subscription(cd))
         if groups:
-            self._edge_groups[edge] = groups
+            role.groups = groups
         else:
-            self._edge_groups.pop(edge, None)
-            self._edge_subscriptions.pop(edge, None)
+            self._drop_edge(edge)
 
     def set_subscriptions(self, edge: Hashable, cds: Iterable["Name | str"]) -> None:
-        self._edge_subscriptions[edge] = {Name.coerce(cd) for cd in cds}
+        """Replace an edge's subscriptions wholesale (player moved areas)."""
+        self._ensure_edge(edge).subscriptions = {Name.coerce(cd) for cd in cds}
         self._rebuild_groups(edge)
 
     # ------------------------------------------------------------------
@@ -117,14 +167,13 @@ class HybridMapper:
     def group_members(self, group: int) -> List[Hashable]:
         """Edges joined to an IP multicast group (sorted, deterministic)."""
         return sorted(
-            (e for e, gs in self._edge_groups.items() if group in gs), key=repr
+            (e for e, role in self._edges.items() if group in role.groups), key=repr
         )
 
     def edge_wants(self, edge: Hashable, cd: "Name | str") -> bool:
         """Receiver-side filter: does any local subscription match ``cd``?"""
-        cd = Name.coerce(cd)
-        subs = self._edge_subscriptions.get(edge, set())
-        return any(prefix in subs for prefix in cd.prefixes())
+        role = self._edges.get(edge)
+        return role is not None and role.wants(Name.coerce(cd))
 
     def deliver(self, cd: "Name | str") -> Tuple[List[Hashable], List[Hashable]]:
         """Classify a publication's group members into (wanted, filtered).

@@ -1,0 +1,630 @@
+"""The G-COPSS router's two engines: forwarding plane and control plane.
+
+The paper's Fig. 2 draws the router as separable engines (NDN engine +
+COPSS engine behind per-face IPC ports).  This module is that separation
+in code.  :class:`~repro.core.engine.GCopssRouter` is only a thin facade
+that composes:
+
+* :class:`ForwardingPlane` — the per-packet data path: ST Bloom matching,
+  multicast replication with uid dedup, Interest encap/decap toward the
+  RP, and the service-cost model (RP decapsulation at ~3.3 ms, plain
+  forwarding at microseconds).  This is the PR-1 fast path, moved here
+  intact.
+* :class:`ControlPlane` — everything that *mutates* routing/subscription
+  state: Subscribe/Unsubscribe propagation with upstream aggregation, FIB
+  add/remove floods, the CD-handoff ST reversal and the three-stage
+  join/confirm/leave migration state machine (paper §IV-B).
+
+Both planes write their counters into the router's shared
+:class:`~repro.sim.stats.NodeStats` block and read RP/relay state from the
+attached :class:`~repro.core.roles.RpRole` / RelayRole, so neither plane
+needs to know the router's concrete class.  Peer-type checks on the data
+path use the ``is_copss_router`` class marker instead of ``isinstance`` —
+no import cycle with the engine module, same subclass semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.dedup import BoundedUidSet
+from repro.core.packets import (
+    CdHandoffPacket,
+    ConfirmPacket,
+    FibAddPacket,
+    FibRemovePacket,
+    JoinPacket,
+    LeavePacket,
+    MulticastPacket,
+    SubscribePacket,
+    UnsubscribePacket,
+)
+from repro.core.roles import RelayRole, RpRole
+from repro.core.subscriptions import SubscriptionTable
+from repro.names import Name
+from repro.ndn.fib import Fib
+from repro.ndn.packets import Interest
+from repro.packets import Packet
+from repro.sim.network import Face
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import GCopssRouter
+
+__all__ = [
+    "ForwardingPlane",
+    "ControlPlane",
+    "RP_NAMESPACE",
+    "rp_target_of",
+]
+
+#: NDN namespace used to tunnel Multicast packets toward an RP.
+RP_NAMESPACE = "rp"
+
+#: Replication/flood dedup window (uids remembered per structure).
+DEDUP_HORIZON = 65536
+
+
+def rp_target_of(interest: Interest) -> str:
+    """The RP name an ``/rp/<RP>`` tunnel Interest is addressed to."""
+    name = interest.name
+    if name.depth < 2 or name[0] != RP_NAMESPACE:
+        raise ValueError(f"not an RP tunnel name: {name}")
+    return name[1]
+
+
+def _intersects(cd: Name, prefixes: Iterable[Name]) -> bool:
+    """True when ``cd`` and any of ``prefixes`` cover one another."""
+    return any(p.is_prefix_of(cd) or cd.is_prefix_of(p) for p in prefixes)
+
+
+class _MigrationState(Enum):
+    PENDING = auto()
+    CONFIRMED = auto()
+
+
+@dataclass
+class _Migration:
+    """Per-epoch tree re-anchoring state at one router (stage 3)."""
+
+    epoch: int
+    origin: str                       # new RP name
+    new_upstream: Optional[Face]
+    state: _MigrationState
+    join_cds: Set[Name] = field(default_factory=set)
+    affected_cds: Set[Name] = field(default_factory=set)
+    old_upstreams: Dict[Name, Set[Face]] = field(default_factory=dict)
+    pending_downstream: Dict[Face, Set[Name]] = field(default_factory=dict)
+
+
+class ForwardingPlane:
+    """Data path: ST match, replication, dedup, encap/decap, service cost.
+
+    Owns the Subscription Table (written by the control plane, matched
+    here) and the replication dedup window.  All counters live in the
+    router's shared stats block.
+    """
+
+    def __init__(
+        self,
+        router: "GCopssRouter",
+        st: SubscriptionTable,
+        rp: RpRole,
+        relay: RelayRole,
+        control: "ControlPlane",
+    ) -> None:
+        self.router = router
+        self.stats = router.stats
+        self.st: SubscriptionTable[Face] = st
+        self.rp = rp
+        self.relay = relay
+        self.control = control
+        # Replication dedup: a router never needs to replicate the same
+        # update twice (in a consistent tree it sees each update once; the
+        # second copy a migration fork can deliver is redundant, and this
+        # also hard-stops any Bloom-false-positive forwarding cycle).
+        self.replicated = BoundedUidSet(DEDUP_HORIZON)
+
+    # ------------------------------------------------------------------
+    # Queueing / service model
+    # ------------------------------------------------------------------
+    def service_cost(self, packet: Packet, face: Face) -> float:
+        """RP decapsulation costs ``rp_service_time``; all else is fast."""
+        router = self.router
+        if isinstance(packet, Interest) and isinstance(packet.payload, MulticastPacket):
+            if (
+                rp_target_of(packet) == router.name
+                and self.rp.serving_prefix(packet.payload.cd) is not None
+            ):
+                return router.rp_service_time
+        elif isinstance(packet, MulticastPacket) and not face.peer.is_copss_router:
+            # First-hop publish whose access router is itself the RP.
+            if self.rp.serving_prefix(packet.cd) is not None:
+                return router.rp_service_time
+        return router.service_time
+
+    # ------------------------------------------------------------------
+    # Multicast data path
+    # ------------------------------------------------------------------
+    def handle_interest(self, interest: Interest, face: Face) -> None:
+        """Demultiplex Interests: RP tunnels here, plain NDN to the base."""
+        if isinstance(interest.payload, MulticastPacket):
+            self.handle_tunnel(interest, face)
+        else:
+            self.router._handle_interest(interest, face)
+
+    def handle_multicast(self, mcast: MulticastPacket, face: Face) -> None:
+        """Route a raw Multicast: replicate down-tree or push toward the RP."""
+        if face.peer.is_copss_router:
+            # Down-tree replication of an already-decapsulated update.
+            self.replicate(mcast, exclude=face)
+            return
+        # First hop: a locally attached publisher handed us an update.
+        serving = self.rp.serving_prefix(mcast.cd)
+        if serving is not None:
+            self.decapsulated(mcast, serving, exclude=face)
+            return
+        relinquished = self.relay.relay_target(mcast.cd)
+        if relinquished is not None:
+            self.stats.relays += 1
+            self.encapsulate_toward(mcast, relinquished)
+            return
+        targets = self.control.cd_routes.lookup(mcast.cd)
+        if not targets:
+            self.stats.multicast_dropped_no_rp += 1
+            return
+        self.encapsulate_toward(mcast, min(targets))
+
+    def handle_tunnel(self, tunnel: Interest, face: Face) -> None:
+        """Process an ``/rp/<RP>`` tunnel: decap at the target, else forward."""
+        target = rp_target_of(tunnel)
+        mcast = tunnel.payload
+        if target == self.router.name:
+            serving = self.rp.serving_prefix(mcast.cd)
+            if serving is not None:
+                self.decapsulated(mcast, serving, exclude=None)
+                return
+            relinquished = self.relay.relay_target(mcast.cd)
+            if relinquished is not None:
+                self.stats.relays += 1
+                self.encapsulate_toward(mcast, relinquished)
+                return
+            self.stats.multicast_dropped_no_rp += 1
+            return
+        out = self.control.rp_route.get(target)
+        if out is None:
+            self.stats.multicast_dropped_no_rp += 1
+            return
+        out.send(tunnel)  # per-hop tunnel forward: skip the ownership re-check
+
+    def encapsulate_toward(self, mcast: MulticastPacket, rp: str) -> None:
+        """Wrap ``mcast`` in an ``/rp/<RP>`` Interest and send it one hop."""
+        router = self.router
+        face = self.control.rp_route.get(rp)
+        if face is None:
+            # The FIB flood for a brand-new RP may not have reached us yet;
+            # fall back to topology-shortest-path routing rather than drop.
+            try:
+                face = router.face_toward(router.network.next_hop(router.name, rp))
+            except Exception:
+                self.stats.multicast_dropped_no_rp += 1
+                return
+        tunnel = Interest(
+            name=Name([RP_NAMESPACE, rp]),
+            payload=mcast,
+            created_at=mcast.created_at,
+        )
+        router.send(face, tunnel)
+
+    def decapsulated(
+        self, mcast: MulticastPacket, serving: Name, exclude: Optional[Face]
+    ) -> None:
+        self.stats.decapsulations += 1
+        self.rp.record_decap(self.router, serving)
+        self.replicate(mcast, exclude=exclude)
+
+    def replicate(self, mcast: MulticastPacket, exclude: Optional[Face]) -> None:
+        """Copy ``mcast`` onto every ST-matching face (once per uid)."""
+        if not self.replicated.add(mcast.uid):
+            self.stats.duplicate_multicasts_dropped += 1
+            return
+        forwarded = 0
+        for out in self.st.match(mcast.cd):
+            if out is not exclude:
+                forwarded += 1
+                out.send(mcast)  # faces from our own ST; skip the self.send ownership re-check
+        self.stats.multicasts_forwarded += forwarded
+
+
+class ControlPlane:
+    """Routing/subscription state and the migration state machine.
+
+    Owns CD routes (prefix -> serving RP), RP routes (RP -> face), the
+    upstream-join pointers, flood dedup and per-epoch migration records.
+    Writes the shared ST (the forwarding plane matches against it).
+    """
+
+    def __init__(
+        self,
+        router: "GCopssRouter",
+        st: SubscriptionTable,
+        rp: RpRole,
+        relay: RelayRole,
+    ) -> None:
+        self.router = router
+        self.stats = router.stats
+        self.st: SubscriptionTable[Face] = st
+        self.rp = rp
+        self.relay = relay
+        # CD prefix -> name of the serving RP (longest-prefix matched).
+        self.cd_routes: Fib[str] = Fib()
+        # RP name -> local face on the shortest path toward it.
+        self.rp_route: Dict[str, Face] = {}
+        # cd -> faces we sent Subscribe/Join on (upstream tree pointers).
+        self._upstream_joined: Dict[Name, Set[Face]] = {}
+        self.seen_floods = BoundedUidSet(DEDUP_HORIZON)
+        self.migrations: Dict[int, _Migration] = {}
+        # Grace period before detaching from the old tree after a
+        # migration confirm (see handle_confirm).  No-loss holds as long
+        # as every packet already committed to the old tree drains within
+        # this window, so it must cover the network diameter plus the
+        # worst queueing delay at the moment a split triggers — with the
+        # default balancer threshold of 40 packets at 3.3 ms RP service,
+        # that is ~130 ms of backlog; 400 ms leaves ample margin.  The
+        # cost of a generous linger is only a brief window of duplicate
+        # deliveries, which uid dedup suppresses.
+        self.leave_linger_ms = 400.0
+
+    # ------------------------------------------------------------------
+    # Subscription control path
+    # ------------------------------------------------------------------
+    def handle_subscribe(self, sub: SubscribePacket, face: Face) -> None:
+        """Install ST state for each CD; propagate first-subscriber joins."""
+        for cd in sub.cds:
+            appeared = (
+                bool(self.rp.on_subscriber_appeared)
+                and self.rp.serving_prefix(cd) is not None
+                and cd not in self.st.all_cds()
+            )
+            first = self.st.ensure(face, cd)
+            if first:
+                self.join_upstream(cd)
+            if appeared:
+                for hook in self.rp.on_subscriber_appeared:
+                    hook(cd)
+
+    def handle_unsubscribe(self, packet: UnsubscribePacket, face: Face) -> None:
+        self.remove_subscriptions(packet.cds, face, strict=True)
+
+    def handle_leave(self, packet: LeavePacket, face: Face) -> None:
+        self.remove_subscriptions(packet.prefixes, face, strict=False)
+
+    def join_upstream(self, cd: Name) -> None:
+        """Propagate a subscription toward every RP relevant to ``cd``."""
+        router = self.router
+        if self.rp.serving_prefix(cd) is not None:
+            return  # we are the root for this CD
+        targets: Set[str] = set(self.cd_routes.lookup(cd))
+        if not targets:
+            for _prefix, rps in self.cd_routes.entries_under(cd).items():
+                targets.update(rps)
+        # Aggregate subscriptions may also span prefixes we serve ourselves.
+        targets.discard(router.name)
+        joined = self._upstream_joined.setdefault(cd, set())
+        out_faces = set()
+        for rp in targets:
+            out = self.rp_route.get(rp)
+            if out is not None and out not in joined:
+                out_faces.add(out)
+        for out in out_faces:
+            joined.add(out)
+            router.send(out, SubscribePacket(cds=(cd,), created_at=router.sim.now))
+        if not joined:
+            self._upstream_joined.pop(cd, None)
+
+    def remove_subscriptions(
+        self, cds: Tuple[Name, ...], face: Face, strict: bool
+    ) -> None:
+        """Shared by Unsubscribe (strict) and Leave (lenient) handling.
+
+        Even the "strict" path tolerates a missing entry: a migration
+        Leave detaches a branch wholesale (all refcounts at once), so a
+        later refcounted Unsubscribe from a subscriber that had been
+        aggregated behind that branch can legitimately find nothing left
+        to remove.  Such events are counted, not raised.
+        """
+        router = self.router
+        for cd in cds:
+            if strict:
+                try:
+                    vanished = self.st.unsubscribe(face, cd)
+                except KeyError:
+                    self.stats.unsubscribe_misses += 1
+                    continue
+            else:
+                vanished = self.st.remove_all(face, cd) > 0
+            if vanished and not self.st.has_any_subscriber(cd):
+                for out in self._upstream_joined.pop(cd, set()):
+                    router.send(
+                        out, UnsubscribePacket(cds=(cd,), created_at=router.sim.now)
+                    )
+            if (
+                vanished
+                and self.rp.on_subscriber_vanished
+                and self.rp.serving_prefix(cd) is not None
+                and cd not in self.st.all_cds()
+            ):
+                for hook in self.rp.on_subscriber_vanished:
+                    hook(cd)
+
+    # ------------------------------------------------------------------
+    # Stage 1+2: CD handoff (old RP -> new RP, reversing the path STs)
+    # ------------------------------------------------------------------
+    def initiate_handoff(
+        self, prefixes: Iterable[Name], new_rp: str
+    ) -> CdHandoffPacket:
+        """Old-RP side of a split: relinquish ``prefixes`` and start relaying.
+
+        Called by the load balancer.  Returns the handoff packet (mostly
+        for tests).
+        """
+        router = self.router
+        moved = tuple(sorted(Name.coerce(p) for p in prefixes))
+        for prefix in moved:
+            if prefix not in self.rp.prefixes:
+                raise ValueError(f"{router.name} does not serve {prefix}")
+        next_hop = router.network.next_hop(router.name, new_rp)
+        out = router.face_toward(next_hop)
+        for prefix in moved:
+            self.rp.prefixes.discard(prefix)
+            self.relay.relinquished[prefix] = new_rp
+        # Relayed publications must reach the new RP before its FIB flood
+        # comes back around; the handoff path itself is the route.
+        self.rp_route[new_rp] = out
+        self._reverse_st_toward(moved, out)
+        self._flip_upstreams(moved, out)
+        packet = CdHandoffPacket(
+            prefixes=moved, old_rp=router.name, new_rp=new_rp, created_at=router.sim.now
+        )
+        router.send(out, packet)
+        return packet
+
+    def _reverse_st_toward(self, moved: Tuple[Name, ...], path_face: Face) -> None:
+        """Detach the branch toward the new RP; it is now upstream."""
+        for cd in self.st.cds_on(path_face):
+            if _intersects(cd, moved):
+                self.st.remove_all(path_face, cd)
+
+    def _flip_upstreams(self, moved: Tuple[Name, ...], new_up: Optional[Face]) -> None:
+        """Point upstream-tree state for everything under ``moved`` at ``new_up``."""
+        affected = [
+            cd
+            for cd in set(self._upstream_joined) | self.st.all_cds() | set(moved)
+            if _intersects(cd, moved)
+        ]
+        for cd in affected:
+            if new_up is None:
+                self._upstream_joined.pop(cd, None)
+            else:
+                self._upstream_joined[cd] = {new_up}
+
+    def handle_handoff(self, packet: CdHandoffPacket, face: Face) -> None:
+        """Stage 2: reverse ST edges along the old-RP -> new-RP path."""
+        router = self.router
+        moved = packet.prefixes
+        if router.name == packet.new_rp:
+            # We are the new root: adopt the prefixes, hang the old tree off
+            # the arrival face, and announce ourselves network-wide.
+            for prefix in moved:
+                self.rp.prefixes.add(prefix)
+                self.st.ensure(face, prefix)
+            self._flip_upstreams(moved, None)
+            flood = FibAddPacket(
+                prefixes=moved, origin=router.name, created_at=router.sim.now
+            )
+            self.handle_fib_add(flood, face=None)
+            return
+        # Intermediate path router: reverse the tree edge through us.
+        next_hop = router.network.next_hop(router.name, packet.new_rp)
+        out = router.face_toward(next_hop)
+        self.rp_route[packet.new_rp] = out
+        for prefix in moved:
+            self.st.ensure(face, prefix)
+        self._reverse_st_toward(moved, out)
+        self._flip_upstreams(moved, out)
+        router.send(out, packet)
+
+    # ------------------------------------------------------------------
+    # Stage 3: FIB flood and join/confirm/leave re-anchoring
+    # ------------------------------------------------------------------
+    def handle_fib_add(self, packet: FibAddPacket, face: Optional[Face]) -> None:
+        """Learn new CD routes from a flood; re-flood and maybe re-anchor."""
+        router = self.router
+        if not self.seen_floods.add(packet.uid):
+            return
+        for prefix in packet.prefixes:
+            if self.cd_routes.has_prefix(prefix):
+                self.cd_routes.remove_prefix(prefix)
+            self.cd_routes.add(prefix, packet.origin)
+        if packet.origin != router.name and face is not None:
+            # Flood-learn: the first copy arrived along the fastest path.
+            self.rp_route[packet.origin] = face
+        for out in router.faces.values():
+            if out is not face and out.peer.is_copss_router:
+                router.send(out, packet)
+        if packet.origin != router.name:
+            self._maybe_start_migration(packet)
+
+    def handle_fib_remove(self, packet: FibRemovePacket, face: Optional[Face]) -> None:
+        """Withdraw CD routes (an RP retiring prefixes without a successor).
+
+        Flooded like FIB-add; a publisher edge whose route disappears
+        counts subsequent publications as unroutable rather than looping
+        them.  Routes for prefixes the flood does not name are untouched,
+        so a coarser covering prefix (if any) takes over via LPM.
+        """
+        router = self.router
+        if not self.seen_floods.add(packet.uid):
+            return
+        for prefix in packet.prefixes:
+            if self.cd_routes.has_prefix(prefix):
+                self.cd_routes.remove_prefix(prefix)
+        if packet.origin == router.name:
+            self.rp.prefixes.difference_update(packet.prefixes)
+        for out in router.faces.values():
+            if out is not face and out.peer.is_copss_router:
+                router.send(out, packet)
+
+    def _maybe_start_migration(self, packet: FibAddPacket) -> None:
+        router = self.router
+        moved = packet.prefixes
+        affected = {
+            cd
+            for cd in set(self._upstream_joined) | self.st.all_cds()
+            if _intersects(cd, moved)
+        }
+        if not affected:
+            return
+        if any(self.rp.serving_prefix(cd) is not None for cd in affected):
+            # Shouldn't happen: prefix-freeness keeps served CDs disjoint.
+            return
+        new_up = self.rp_route.get(packet.origin)
+        if new_up is None:
+            return
+        old_upstreams = {
+            cd: set(self._upstream_joined.get(cd, set())) for cd in affected
+        }
+        needs_move = [
+            cd for cd in affected if old_upstreams[cd] and old_upstreams[cd] != {new_up}
+        ]
+        migration = _Migration(
+            epoch=packet.uid,
+            origin=packet.origin,
+            new_upstream=new_up,
+            state=_MigrationState.CONFIRMED if not needs_move else _MigrationState.PENDING,
+            join_cds=set(needs_move),
+            affected_cds=set(affected),
+            old_upstreams=old_upstreams,
+        )
+        self.migrations[packet.uid] = migration
+        if needs_move:
+            router.send(
+                new_up,
+                JoinPacket(
+                    prefixes=tuple(sorted(needs_move)),
+                    epoch=packet.uid,
+                    origin=packet.origin,
+                    created_at=router.sim.now,
+                ),
+            )
+
+    def handle_join(self, packet: JoinPacket, face: Face) -> None:
+        """Graft a migrating branch: attach, confirm, or stash as pending."""
+        router = self.router
+        cds = set(packet.prefixes)
+        if router.name == packet.origin or any(
+            self.rp.serving_prefix(cd) is not None for cd in cds
+        ):
+            # We are the new root: the branch attaches immediately.
+            for cd in cds:
+                self.st.ensure(face, cd)
+            router.send(
+                face, ConfirmPacket(epoch=packet.epoch, created_at=router.sim.now)
+            )
+            return
+        migration = self.migrations.get(packet.epoch)
+        if migration is not None and migration.state is _MigrationState.CONFIRMED:
+            for cd in cds:
+                first = self.st.ensure(face, cd)
+                if first:
+                    self.join_upstream(cd)
+            router.send(
+                face, ConfirmPacket(epoch=packet.epoch, created_at=router.sim.now)
+            )
+            return
+        if migration is None:
+            new_up = self.rp_route.get(packet.origin)
+            if new_up is None:
+                next_hop = router.network.next_hop(router.name, packet.origin)
+                new_up = router.face_toward(next_hop)
+            migration = _Migration(
+                epoch=packet.epoch,
+                origin=packet.origin,
+                new_upstream=new_up,
+                state=_MigrationState.PENDING,
+                join_cds=set(),
+            )
+            self.migrations[packet.epoch] = migration
+            migration.pending_downstream[face] = set(cds)
+            migration.join_cds = set(cds)
+            router.send(
+                migration.new_upstream,
+                JoinPacket(
+                    prefixes=tuple(sorted(cds)),
+                    epoch=packet.epoch,
+                    origin=packet.origin,
+                    created_at=router.sim.now,
+                ),
+            )
+            return
+        # PENDING: stash the request; forward any CDs not yet covered.
+        migration.pending_downstream.setdefault(face, set()).update(cds)
+        delta = cds - migration.join_cds
+        if delta:
+            migration.join_cds |= delta
+            router.send(
+                migration.new_upstream,
+                JoinPacket(
+                    prefixes=tuple(sorted(delta)),
+                    epoch=packet.epoch,
+                    origin=packet.origin,
+                    created_at=router.sim.now,
+                ),
+            )
+
+    def handle_confirm(self, packet: ConfirmPacket, face: Face) -> None:
+        """Activate a pending migration; schedule the lingering Leave."""
+        router = self.router
+        migration = self.migrations.get(packet.epoch)
+        if migration is None or migration.state is _MigrationState.CONFIRMED:
+            return
+        migration.state = _MigrationState.CONFIRMED
+        # Activate pending downstream branches.
+        for down_face, cds in migration.pending_downstream.items():
+            for cd in cds:
+                self.st.ensure(down_face, cd)
+            router.send(
+                down_face, ConfirmPacket(epoch=packet.epoch, created_at=router.sim.now)
+            )
+        # Switch our own upstream pointers and leave the old tree.  Only
+        # CDs we actually joined for are re-pointed: affected CDs that were
+        # already anchored at the new upstream (or had no upstream at all)
+        # must not gain a phantom upstream pointer, or a later unsubscribe
+        # would tear down state we never installed.
+        new_up = migration.new_upstream
+        leaves: Dict[Face, Set[Name]] = {}
+        for cd in migration.join_cds:
+            joined = self._upstream_joined.setdefault(cd, set())
+            olds = set(migration.old_upstreams.get(cd, set()))
+            for old in olds:
+                if old is not new_up:
+                    leaves.setdefault(old, set()).add(cd)
+                    joined.discard(old)
+            joined.add(new_up)
+        # Leave the old branch only after a linger period: a packet that
+        # was decapsulated at the new RP before our Join reached it may
+        # still be in flight on the (longer) old path, and an immediate
+        # Leave upstream would cut it off.  During the linger both branches
+        # are live; the duplicate copies are suppressed by uid dedup.
+        for old_face, cds in leaves.items():
+            router.sim.schedule(
+                self.leave_linger_ms,
+                router.send,
+                old_face,
+                LeavePacket(
+                    prefixes=tuple(sorted(cds)),
+                    epoch=packet.epoch,
+                    created_at=router.sim.now,
+                ),
+            )

@@ -22,16 +22,18 @@ Two retrieval modes are implemented and compared in Table III:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.engine import GCopssHost, GCopssRouter
 from repro.core.packets import MulticastPacket
 from repro.names import Name
 from repro.ndn.packets import Data, Interest
+from repro.sim.roles import Role
 
 __all__ = [
     "ObjectState",
+    "BrokerRole",
     "SnapshotBroker",
     "QrSnapshotFetcher",
     "CyclicSnapshotReceiver",
@@ -73,26 +75,26 @@ def group_cd(cd: Name) -> Name:
     return Name([SNAPSHOT_GROUP_NAMESPACE]).append(cd)
 
 
-class SnapshotBroker(GCopssHost):
-    """A broker maintaining snapshots for a set of area leaf CDs.
+class BrokerRole(Role):
+    """Snapshot brokering as an attachable host behavior.
 
-    ``objects_by_cd`` maps each served leaf CD to the object ids living in
-    that area (known from the game map every client downloads apriori).
-    The broker subscribes to those leaf CDs, folds every received update
-    into its object states, serves the QR namespace, and runs cyclic
-    multicast groups on demand.
+    Owns the object states, the update-folding callback, the QR producer
+    and the cyclic-multicast scheduler; the host it attaches to provides
+    transport (subscribe/serve/send).  Attach to any
+    :class:`~repro.core.engine.GCopssHost` — the :class:`SnapshotBroker`
+    subclass exists only as the conventional pre-composed package.
     """
+
+    ROLE_NAME = "broker"
 
     def __init__(
         self,
-        network,
-        name: str,
         objects_by_cd: Dict[Name, Sequence[int]],
         decay: float = DEFAULT_DECAY,
         cyclic_pacing_ms: float = 1.0,
         snapshot_freshness_ms: float = 200.0,
     ) -> None:
-        super().__init__(network, name)
+        super().__init__()
         if not 0 < decay <= 1:
             raise ValueError(f"decay must be in (0, 1], got {decay}")
         self.decay = decay
@@ -109,20 +111,30 @@ class SnapshotBroker(GCopssHost):
         self._active_groups: Dict[Name, int] = {}  # group cd -> cycle cursor
         self._cycle_running = False
         self._rotation_index = -1
-        self.on_update.append(type(self)._fold_update)
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
+    def attach(self, node) -> None:
+        """Hook the host's update stream to fold updates into snapshots."""
+        super().attach(node)
+        node.on_update.append(self._on_host_update)
+
+    def detach(self, node) -> None:
+        """Unhook the update stream."""
+        node.on_update.remove(self._on_host_update)
+        super().detach(node)
+
     def start(self) -> None:
         """Subscribe to the served areas and register the QR namespace.
 
-        Call after the broker is linked to its access router and routes
-        are installed.
+        Call after the host is linked to its access router and routes are
+        installed.
         """
-        self.subscribe(self.objects.keys())
+        host = self.node
+        host.subscribe(self.objects.keys())
         for cd in self.objects:
-            self.serve(snapshot_name(cd, 0).parent, self._serve_snapshot)
+            host.serve(snapshot_name(cd, 0).parent, self._serve_snapshot)
 
     def attach_group_hooks(self, access_router: GCopssRouter) -> None:
         """Let the access router (RP for the group CDs) drive cyclic mode."""
@@ -154,7 +166,7 @@ class SnapshotBroker(GCopssHost):
     # ------------------------------------------------------------------
     # Update folding
     # ------------------------------------------------------------------
-    def _fold_update(self, packet: MulticastPacket) -> None:
+    def _on_host_update(self, host, packet: MulticastPacket) -> None:
         area = self.objects.get(packet.cd)
         if area is None:
             return
@@ -191,7 +203,7 @@ class SnapshotBroker(GCopssHost):
             payload_size=payload,
             freshness=self.snapshot_freshness_ms,
             content=(state.version, payload),
-            created_at=self.sim.now,
+            created_at=self.node.sim.now,
         )
 
     # ------------------------------------------------------------------
@@ -210,7 +222,7 @@ class SnapshotBroker(GCopssHost):
         self._active_groups[group] = 0
         if not self._cycle_running:
             self._cycle_running = True
-            self.sim.schedule(0.0, self._cycle_step)
+            self.node.sim.schedule(0.0, self._cycle_step)
 
     def _group_stopped(self, group: Name) -> None:
         self._active_groups.pop(group, None)
@@ -224,6 +236,7 @@ class SnapshotBroker(GCopssHost):
         bound while any group is active and every subscriber's control
         traffic starves behind it.
         """
+        host = self.node
         if not self._active_groups:
             self._cycle_running = False
             return
@@ -234,12 +247,12 @@ class SnapshotBroker(GCopssHost):
         area = self._area_of_group(group)
         if area is None:
             self._active_groups.pop(group, None)
-            self.sim.schedule(0.0, self._cycle_step)
+            host.sim.schedule(0.0, self._cycle_step)
             return
         states = sorted(self.objects[area].values(), key=lambda s: s.object_id)
         if not states:
             self._active_groups.pop(group, None)
-            self.sim.schedule(0.0, self._cycle_step)
+            host.sim.schedule(0.0, self._cycle_step)
             return
         cursor = self._active_groups[group] % len(states)
         state = states[cursor]
@@ -248,13 +261,13 @@ class SnapshotBroker(GCopssHost):
         packet = MulticastPacket(
             cd=group,
             payload_size=payload,
-            publisher=self.name,
+            publisher=host.name,
             object_id=state.object_id,
-            created_at=self.sim.now,
+            created_at=host.sim.now,
         )
-        self.send(self.access_face, packet)
+        host.send(host.access_face, packet)
         self.cyclic_objects_sent += 1
-        self.sim.schedule(self.cyclic_pacing_ms, self._cycle_step)
+        host.sim.schedule(self.cyclic_pacing_ms, self._cycle_step)
 
     def _rotation_next(self) -> Optional[Name]:
         active = sorted(self._active_groups)
@@ -262,6 +275,82 @@ class SnapshotBroker(GCopssHost):
             return None
         self._rotation_index = (self._rotation_index + 1) % len(active)
         return active[self._rotation_index]
+
+
+def _broker_field(name: str) -> property:
+    """A read/write property aliasing one attribute of the broker role."""
+
+    def fget(self):
+        return getattr(self.broker_role, name)
+
+    def fset(self, value):
+        setattr(self.broker_role, name, value)
+
+    return property(fget, fset)
+
+
+class SnapshotBroker(GCopssHost):
+    """A broker host maintaining snapshots for a set of area leaf CDs.
+
+    ``objects_by_cd`` maps each served leaf CD to the object ids living in
+    that area (known from the game map every client downloads apriori).
+    The broker subscribes to those leaf CDs, folds every received update
+    into its object states, serves the QR namespace, and runs cyclic
+    multicast groups on demand.
+
+    The behavior lives in an attached :class:`BrokerRole`; this subclass
+    packages host + role and aliases the role's state under the historical
+    attribute names.
+    """
+
+    def __init__(
+        self,
+        network,
+        name: str,
+        objects_by_cd: Dict[Name, Sequence[int]],
+        decay: float = DEFAULT_DECAY,
+        cyclic_pacing_ms: float = 1.0,
+        snapshot_freshness_ms: float = 200.0,
+    ) -> None:
+        super().__init__(network, name)
+        self.broker_role: BrokerRole = self.attach_role(
+            BrokerRole(
+                objects_by_cd,
+                decay=decay,
+                cyclic_pacing_ms=cyclic_pacing_ms,
+                snapshot_freshness_ms=snapshot_freshness_ms,
+            )
+        )
+
+    decay = _broker_field("decay")
+    cyclic_pacing_ms = _broker_field("cyclic_pacing_ms")
+    snapshot_freshness_ms = _broker_field("snapshot_freshness_ms")
+    objects = _broker_field("objects")
+    updates_folded = _broker_field("updates_folded")
+    unknown_updates = _broker_field("unknown_updates")
+    snapshot_objects_served = _broker_field("snapshot_objects_served")
+    cyclic_objects_sent = _broker_field("cyclic_objects_sent")
+    _active_groups = _broker_field("_active_groups")
+
+    def start(self) -> None:
+        """Subscribe to served areas and register the QR namespace."""
+        self.broker_role.start()
+
+    def attach_group_hooks(self, access_router: GCopssRouter) -> None:
+        """Let the access router (RP for the group CDs) drive cyclic mode."""
+        self.broker_role.attach_group_hooks(access_router)
+
+    def group_cds(self) -> List[Name]:
+        return self.broker_role.group_cds()
+
+    def preseed(
+        self,
+        versions_for: Callable[[Name, int], int],
+        size_range: Tuple[int, int],
+        rng,
+    ) -> None:
+        """Fast-forward object states (see :meth:`BrokerRole.preseed`)."""
+        self.broker_role.preseed(versions_for, size_range, rng)
 
 
 class QrSnapshotFetcher:

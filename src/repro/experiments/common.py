@@ -246,7 +246,10 @@ def run_gcopss_backbone(
             )
         for rp_name in rp_names:
             router = network.nodes[rp_name]
-            assert isinstance(router, GCopssRouter)
+            if not isinstance(router, GCopssRouter):
+                raise TypeError(
+                    f"RP {rp_name} must be a GCopssRouter, got {type(router).__name__}"
+                )
             balancers.append(
                 RpLoadBalancer(
                     router,

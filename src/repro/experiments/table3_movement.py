@@ -206,7 +206,10 @@ def run_table3(
     depth_versions = {0: 200, 1: 60, 2: 30}
     for broker, site in zip(brokers, broker_sites):
         router = network.nodes[site]
-        assert isinstance(router, GCopssRouter)
+        if not isinstance(router, GCopssRouter):
+            raise TypeError(
+                f"broker site {site} must be a GCopssRouter, got {type(router).__name__}"
+            )
         broker.attach_group_hooks(router)
         broker.start()
         broker.preseed(

@@ -21,7 +21,7 @@ from repro.ndn.packets import Data, Interest
 from repro.ndn.pit import InterestAction, Pit
 from repro.packets import Packet
 from repro.sim.engine import EventHandle
-from repro.sim.network import Face, Network, Node
+from repro.sim.network import Face, Network, Node, PacketDispatcher
 from repro.sim.queues import ServiceQueue
 
 __all__ = ["NdnRouter", "NdnHost", "install_routes"]
@@ -40,11 +40,12 @@ class NdnRouter(Node):
     """An NDN forwarding node.
 
     Every received packet passes through a FIFO processing queue with a
-    deterministic per-packet service time, then is dispatched by type.
-    Interests take the CS -> PIT -> FIB pipeline; Data takes the
-    PIT-reverse-path pipeline.  Subclasses (the G-COPSS router) override
-    :meth:`_dispatch` to intercept their own packet types first — this is
-    the "is a NDN pkt?" demultiplexer of the paper's Fig. 2.
+    deterministic per-packet service time, then is dispatched by type
+    through a :class:`~repro.sim.network.PacketDispatcher`.  Interests
+    take the CS -> PIT -> FIB pipeline; Data takes the PIT-reverse-path
+    pipeline.  Subclasses (the G-COPSS router) *register* handlers for
+    their own packet types — this is the "is a NDN pkt?" demultiplexer of
+    the paper's Fig. 2, as a table instead of an ``isinstance`` ladder.
     """
 
     def __init__(
@@ -60,27 +61,43 @@ class NdnRouter(Node):
         self.cs = ContentStore(cs_capacity)
         self.service_time = service_time
         self.queue = ServiceQueue(self.sim, name=f"{name}.proc")
-        self.interests_dropped_no_route = 0
-        self.data_dropped_unsolicited = 0
+        self.dispatcher = PacketDispatcher(stats=self.stats, owner=name)
+        self.dispatcher.register(Interest, self._handle_interest)
+        self.dispatcher.register(Data, self._handle_data)
+
+    # ------------------------------------------------------------------
+    # Counters (backed by the shared stats block)
+    # ------------------------------------------------------------------
+    @property
+    def interests_dropped_no_route(self) -> int:
+        return self.stats.interests_dropped_no_route
+
+    @interests_dropped_no_route.setter
+    def interests_dropped_no_route(self, value: int) -> None:
+        self.stats.interests_dropped_no_route = value
+
+    @property
+    def data_dropped_unsolicited(self) -> int:
+        return self.stats.data_dropped_unsolicited
+
+    @data_dropped_unsolicited.setter
+    def data_dropped_unsolicited(self, value: int) -> None:
+        self.stats.data_dropped_unsolicited = value
 
     # ------------------------------------------------------------------
     # Packet pipeline
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, face: Face) -> None:
-        self.packets_received += 1
+        self.stats.packets_received += 1
         self.queue.submit((packet, face), self.service_time, self._serve)
 
     def _serve(self, item: Tuple[Packet, Face]) -> None:
         packet, face = item
-        self._dispatch(packet, face)
+        self.dispatcher.dispatch(packet, face)
 
     def _dispatch(self, packet: Packet, face: Face) -> None:
-        if isinstance(packet, Interest):
-            self._handle_interest(packet, face)
-        elif isinstance(packet, Data):
-            self._handle_data(packet, face)
-        else:
-            raise TypeError(f"{self.name}: unexpected packet type {type(packet).__name__}")
+        """Registry dispatch entry point (kept callable for tests/tools)."""
+        self.dispatcher.dispatch(packet, face)
 
     def _handle_interest(self, interest: Interest, face: Face) -> None:
         cached = self.cs.match(interest.name, self.sim.now)
@@ -94,7 +111,7 @@ class NdnRouter(Node):
             return
         out_face = self._choose_upstream(interest.name, face)
         if out_face is None:
-            self.interests_dropped_no_route += 1
+            self.stats.interests_dropped_no_route += 1
             return
         self.send(out_face, interest)
 
@@ -109,7 +126,7 @@ class NdnRouter(Node):
     def _handle_data(self, data: Data, face: Face) -> None:
         downstream = self.pit.satisfy(data.name, self.sim.now)
         if not downstream:
-            self.data_dropped_unsolicited += 1
+            self.stats.data_dropped_unsolicited += 1
             return
         self.cs.insert(data, self.sim.now)
         for out_face in downstream:
@@ -130,9 +147,36 @@ class NdnHost(Node):
         self._pending: Dict[Name, List[DataHandler]] = {}
         self._timeouts: Dict[Name, List[EventHandle]] = {}
         self._producers: Fib[ProducerHandler] = Fib()
-        self.interests_sent = 0
-        self.data_received = 0
-        self.timeouts_fired = 0
+        self.dispatcher = PacketDispatcher(stats=self.stats, owner=name)
+        self.dispatcher.register(Data, self._receive_data)
+        self.dispatcher.register(Interest, self._receive_interest)
+
+    # ------------------------------------------------------------------
+    # Counters (backed by the shared stats block)
+    # ------------------------------------------------------------------
+    @property
+    def interests_sent(self) -> int:
+        return self.stats.interests_sent
+
+    @interests_sent.setter
+    def interests_sent(self, value: int) -> None:
+        self.stats.interests_sent = value
+
+    @property
+    def data_received(self) -> int:
+        return self.stats.data_received
+
+    @data_received.setter
+    def data_received(self, value: int) -> None:
+        self.stats.data_received = value
+
+    @property
+    def timeouts_fired(self) -> int:
+        return self.stats.timeouts_fired
+
+    @timeouts_fired.setter
+    def timeouts_fired(self, value: int) -> None:
+        self.stats.timeouts_fired = value
 
     @property
     def access_face(self) -> Face:
@@ -163,7 +207,7 @@ class NdnHost(Node):
         if on_timeout is not None:
             handle = self.sim.schedule(lifetime, self._fire_timeout, name, on_data, on_timeout)
             self._timeouts.setdefault(name, []).append(handle)
-        self.interests_sent += 1
+        self.stats.interests_sent += 1
         self.send(self.access_face, interest)
         return interest
 
@@ -175,7 +219,7 @@ class NdnHost(Node):
             callbacks.remove(on_data)
             if not callbacks:
                 del self._pending[name]
-            self.timeouts_fired += 1
+            self.stats.timeouts_fired += 1
             on_timeout(name)
 
     # ------------------------------------------------------------------
@@ -195,20 +239,21 @@ class NdnHost(Node):
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, face: Face) -> None:
         """Consume Data for pending Interests; answer served prefixes."""
-        self.packets_received += 1
-        if isinstance(packet, Data):
-            self._consume(packet)
-        elif isinstance(packet, Interest):
-            self._produce(packet, face)
-        else:
-            raise TypeError(f"{self.name}: unexpected packet type {type(packet).__name__}")
+        self.stats.packets_received += 1
+        self.dispatcher.dispatch(packet, face)
+
+    def _receive_data(self, data: Data, face: Face) -> None:
+        self._consume(data)
+
+    def _receive_interest(self, interest: Interest, face: Face) -> None:
+        self._produce(interest, face)
 
     def _consume(self, data: Data) -> None:
         callbacks = self._pending.pop(data.name, [])
         for handle in self._timeouts.pop(data.name, []):
             handle.cancel()
         if callbacks:
-            self.data_received += 1
+            self.stats.data_received += 1
         for callback in callbacks:
             callback(data)
 

@@ -14,17 +14,21 @@ All simulated time is in **milliseconds** (floats); all sizes are in
 """
 
 from repro.sim.engine import Simulator
-from repro.sim.network import Link, Network, Node
+from repro.sim.network import Link, Network, Node, PacketDispatcher
 from repro.sim.queues import ServiceQueue
-from repro.sim.stats import LatencyRecorder, LoadMeter, SeriesRecorder
+from repro.sim.roles import Role
+from repro.sim.stats import LatencyRecorder, LoadMeter, NodeStats, SeriesRecorder
 
 __all__ = [
     "Simulator",
     "Node",
     "Link",
     "Network",
+    "PacketDispatcher",
+    "Role",
     "ServiceQueue",
     "LatencyRecorder",
     "LoadMeter",
+    "NodeStats",
     "SeriesRecorder",
 ]

@@ -13,14 +13,101 @@ and player hosts all subclass :class:`Node` and implement
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.packets import Packet
 from repro.sim.engine import Simulator
+from repro.sim.stats import NodeStats
 
-__all__ = ["Face", "Link", "Node", "Network"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.roles import Role
+
+__all__ = ["Face", "Link", "Node", "Network", "PacketDispatcher"]
+
+
+PacketHandler = Callable[[Packet, "Face"], None]
+
+
+class PacketDispatcher:
+    """Typed packet dispatch: one handler per packet class, MRO-resolved.
+
+    Replaces the ``isinstance`` ladders that used to live in every
+    ``receive``/``_dispatch`` method.  Handlers are registered per packet
+    *class*; a packet whose exact type has no handler falls back to the
+    nearest registered base along its MRO (longest match first), so a
+    subclass packet is served by its closest registered ancestor.
+    Resolution is memoized per concrete type — dispatch on the hot path is
+    one dict lookup.
+
+    Packets no handler claims are counted in ``stats.unknown_packets`` and
+    then, in the default strict mode, rejected with ``TypeError`` — an
+    unknown packet at a router is a wiring bug worth surfacing.  Lenient
+    dispatchers (``strict=False``) only count, for endpoints that ignore
+    stray traffic by design.
+    """
+
+    __slots__ = ("_handlers", "_resolved", "stats", "owner", "strict")
+
+    def __init__(
+        self,
+        stats: Optional[NodeStats] = None,
+        owner: str = "node",
+        strict: bool = True,
+    ) -> None:
+        self._handlers: Dict[type, PacketHandler] = {}
+        # type -> handler memo, including the unknown-packet fallthrough.
+        self._resolved: Dict[type, PacketHandler] = {}
+        self.stats = stats if stats is not None else NodeStats()
+        self.owner = owner
+        self.strict = strict
+
+    def register(self, packet_cls: type, handler: PacketHandler) -> PacketHandler:
+        """Route ``packet_cls`` (and unclaimed subclasses) to ``handler``.
+
+        Re-registering a class replaces its handler — that is how the
+        G-COPSS router takes over ``Interest`` handling from the NDN base
+        while everything else keeps flowing to the base pipeline.
+        """
+        if not (isinstance(packet_cls, type) and issubclass(packet_cls, Packet)):
+            raise TypeError(f"can only register Packet subclasses, got {packet_cls!r}")
+        self._handlers[packet_cls] = handler
+        self._resolved.clear()
+        return handler
+
+    def registered(self) -> Dict[type, PacketHandler]:
+        """Snapshot of the class -> handler table (for tests/introspection)."""
+        return dict(self._handlers)
+
+    def handler_for(self, packet_cls: type) -> Optional[PacketHandler]:
+        """The handler a packet of ``packet_cls`` would resolve to, or None."""
+        handler = self._resolved.get(packet_cls)
+        if handler is None:
+            handler = self._resolve(packet_cls)
+        return None if handler == self._unknown else handler
+
+    def dispatch(self, packet: Packet, face: "Face | None") -> None:
+        handler = self._resolved.get(packet.__class__)
+        if handler is None:
+            handler = self._resolve(packet.__class__)
+        handler(packet, face)
+
+    def _resolve(self, cls: type) -> PacketHandler:
+        for base in cls.__mro__:
+            handler = self._handlers.get(base)
+            if handler is not None:
+                self._resolved[cls] = handler
+                return handler
+        self._resolved[cls] = self._unknown
+        return self._unknown
+
+    def _unknown(self, packet: Packet, face: "Face | None") -> None:
+        self.stats.unknown_packets += 1
+        if self.strict:
+            raise TypeError(
+                f"{self.owner}: unexpected packet type {type(packet).__name__}"
+            )
 
 
 class Face:
@@ -144,9 +231,18 @@ class Link:
 class Node:
     """A network element: router, rendezvous point, server, broker or host.
 
-    Subclasses implement :meth:`receive`.  The base class manages faces and
-    offers :meth:`send` plus a per-node received-packet counter.
+    Subclasses implement :meth:`receive`.  The base class manages faces,
+    offers :meth:`send`, owns the shared :class:`~repro.sim.stats.NodeStats`
+    counter block, and carries attachable :class:`~repro.sim.roles.Role`
+    objects — behavioral units (RP, relay, broker, hybrid edge) composed
+    onto a node instead of baked into a subclass hierarchy.
     """
+
+    #: Marker for the COPSS data plane's peer checks (a router only
+    #: replicates down-tree when the packet arrived from another COPSS
+    #: router).  A class attribute rather than an ``isinstance`` probe so
+    #: the plane modules need no import cycle with the engine.
+    is_copss_router = False
 
     def __init__(self, network: "Network", name: str) -> None:
         self.network = network
@@ -154,8 +250,43 @@ class Node:
         self.name = name
         self.faces: Dict[int, Face] = {}
         self._next_face_id = 0
-        self.packets_received = 0
+        self.stats = NodeStats()
+        self.roles: Dict[str, "Role"] = {}
         network._register(self)
+
+    # ------------------------------------------------------------------
+    # Counters (backed by the shared stats block)
+    # ------------------------------------------------------------------
+    @property
+    def packets_received(self) -> int:
+        return self.stats.packets_received
+
+    @packets_received.setter
+    def packets_received(self, value: int) -> None:
+        self.stats.packets_received = value
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    def attach_role(self, role: "Role") -> "Role":
+        """Attach a behavioral role; returns it for chained assignment."""
+        name = role.ROLE_NAME
+        if name in self.roles:
+            raise ValueError(f"{self.name} already has a {name!r} role")
+        self.roles[name] = role
+        role.attach(self)
+        return role
+
+    def detach_role(self, name: str) -> "Role":
+        role = self.roles.pop(name)
+        role.detach(self)
+        return role
+
+    def get_role(self, name: str) -> "Role | None":
+        return self.roles.get(name)
+
+    def has_role(self, name: str) -> bool:
+        return name in self.roles
 
     def _attach(self, link: Link) -> Face:
         face = Face(self, self._next_face_id, link)

@@ -14,9 +14,61 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-__all__ = ["LatencyRecorder", "SeriesRecorder", "LoadMeter", "summarize"]
+__all__ = [
+    "NodeStats",
+    "LatencyRecorder",
+    "SeriesRecorder",
+    "LoadMeter",
+    "summarize",
+]
+
+
+@dataclass
+class NodeStats:
+    """Per-node counter block shared by every protocol stack.
+
+    One schema for routers, RPs, servers and hosts: experiment reports read
+    the same field names regardless of architecture, and the plane/role
+    split of the G-COPSS router writes its counters here so the facade can
+    expose them without owning them.  Fields a given node type never touches
+    simply stay zero.
+    """
+
+    # Fabric (every node).
+    packets_received: int = 0
+    #: Packets no registered dispatch handler claimed (see
+    #: :class:`repro.sim.network.PacketDispatcher`).
+    unknown_packets: int = 0
+    # NDN pipeline.
+    interests_dropped_no_route: int = 0
+    data_dropped_unsolicited: int = 0
+    interests_sent: int = 0
+    data_received: int = 0
+    timeouts_fired: int = 0
+    # G-COPSS forwarding plane.
+    decapsulations: int = 0
+    multicasts_forwarded: int = 0
+    relays: int = 0
+    multicast_dropped_no_rp: int = 0
+    duplicate_multicasts_dropped: int = 0
+    # G-COPSS control plane.
+    unsubscribe_misses: int = 0
+    # G-COPSS host.
+    updates_received: int = 0
+    duplicates_suppressed: int = 0
+    own_updates_echoed: int = 0
+    published: int = 0
+    # IP baseline.
+    dropped_no_route: int = 0
+    updates_handled: int = 0
+    fanout_sent: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters by field name (insertion order = declaration order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class LatencyRecorder:

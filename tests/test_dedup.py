@@ -1,0 +1,69 @@
+"""Tests for the bounded insertion-ordered uid dedup window."""
+
+import pytest
+
+from repro.core.dedup import BoundedUidSet
+
+
+class TestBasics:
+    def test_first_add_is_new_second_is_duplicate(self):
+        seen = BoundedUidSet(8)
+        assert seen.add(1) is True
+        assert seen.add(1) is False
+        assert 1 in seen
+        assert len(seen) == 1
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedUidSet(0)
+
+    def test_clear_empties_the_window(self):
+        seen = BoundedUidSet(8)
+        seen.add(1)
+        seen.add(2)
+        seen.clear()
+        assert len(seen) == 0
+        assert seen.add(1) is True
+
+
+class TestEviction:
+    def test_overflow_evicts_oldest_half(self):
+        seen = BoundedUidSet(4)
+        for uid in range(5):  # 5th add overflows horizon=4
+            assert seen.add(uid) is True
+        # len grew to 5 > 4, so the oldest 5 // 2 = 2 entries were evicted.
+        assert len(seen) == 3
+        assert 0 not in seen and 1 not in seen
+        assert 2 in seen and 3 in seen and 4 in seen
+
+    def test_evicted_uid_counts_as_new_again(self):
+        seen = BoundedUidSet(4)
+        for uid in range(5):
+            seen.add(uid)
+        # uid 0 was evicted: re-adding reports "new" (the accepted cost of
+        # a bounded window — ancient replays count once more).
+        assert seen.add(0) is True
+
+    def test_eviction_is_insertion_ordered_not_value_ordered(self):
+        seen = BoundedUidSet(4)
+        for uid in (9, 3, 7, 1, 5):  # arbitrary value order
+            seen.add(uid)
+        # Oldest two *insertions* (9, 3) go; values play no role.
+        assert 9 not in seen and 3 not in seen
+        assert 7 in seen and 1 in seen and 5 in seen
+
+    def test_duplicate_add_does_not_refresh_position(self):
+        seen = BoundedUidSet(4)
+        for uid in (10, 11, 12, 13):
+            seen.add(uid)
+        assert seen.add(10) is False  # duplicate: stays at its old slot
+        seen.add(14)  # overflow: evicts the two oldest, 10 and 11
+        assert 10 not in seen and 11 not in seen
+        assert 12 in seen and 13 in seen and 14 in seen
+
+    def test_window_keeps_sliding(self):
+        seen = BoundedUidSet(10)
+        for uid in range(1000):
+            assert seen.add(uid) is True
+        assert len(seen) <= 10
+        assert 999 in seen

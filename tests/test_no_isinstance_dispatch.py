@@ -1,0 +1,108 @@
+"""AST lint: packet dispatch must go through the registry, not isinstance.
+
+The dispatch-registry refactor replaced every ``isinstance`` ladder in the
+engines' receive/dispatch paths with :class:`repro.sim.network.PacketDispatcher`.
+This check keeps it that way: any ``isinstance`` call inside a dispatch-path
+method (``receive``, ``_serve``, ``_forward`` or ``*_dispatch``) of an engine
+or baseline module fails the build with a pointer at the offending line.
+
+It also pins the facade property the refactor bought: ``GCopssRouter``'s
+class body stays small, with forwarding/control logic living in the plane
+classes.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Method names that form the packet dispatch path.
+DISPATCH_METHOD_NAMES = {"receive", "_serve", "_forward"}
+DISPATCH_METHOD_SUFFIX = "_dispatch"
+
+#: Upper bound on the GCopssRouter class body (facade, not god-class).
+MAX_ROUTER_CLASS_LINES = 300
+
+
+def lint_targets():
+    """Engine modules and baselines covered by the lint."""
+    files = sorted(SRC.glob("**/engine.py")) + sorted((SRC / "baselines").glob("*.py"))
+    assert files, f"no lint targets found under {SRC}"
+    return files
+
+
+def is_dispatch_method(name: str) -> bool:
+    return name in DISPATCH_METHOD_NAMES or name.endswith(DISPATCH_METHOD_SUFFIX)
+
+
+def isinstance_calls(func_node):
+    """All isinstance() call nodes inside a function body."""
+    calls = []
+    for node in ast.walk(func_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+        ):
+            calls.append(node)
+    return calls
+
+
+def test_no_isinstance_in_dispatch_paths():
+    offenders = []
+    for path in lint_targets():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not is_dispatch_method(item.name):
+                    continue
+                for call in isinstance_calls(item):
+                    offenders.append(
+                        f"{path.relative_to(SRC.parent.parent)}:{call.lineno} "
+                        f"{node.name}.{item.name} uses isinstance dispatch"
+                    )
+    assert not offenders, (
+        "isinstance-ladder dispatch is forbidden in engine receive/dispatch "
+        "paths; register a handler on the PacketDispatcher instead:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_every_engine_node_class_uses_the_dispatcher():
+    """Each engine's receive() path must route through self.dispatcher."""
+    missing = []
+    for path in lint_targets():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            receives = [
+                item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef) and item.name == "receive"
+            ]
+            if not receives:
+                continue  # inherits the base receive path
+            source = ast.get_source_segment(path.read_text(), node) or ""
+            if "dispatcher" not in source and "queue.submit" not in source:
+                missing.append(f"{path.name}:{node.name}")
+    assert not missing, f"receive() without dispatcher routing: {missing}"
+
+
+def test_gcopss_router_stays_a_facade():
+    path = SRC / "core" / "engine.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    router = next(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef) and node.name == "GCopssRouter"
+    )
+    body_lines = router.end_lineno - router.lineno + 1
+    assert body_lines < MAX_ROUTER_CLASS_LINES, (
+        f"GCopssRouter class body is {body_lines} lines (>= {MAX_ROUTER_CLASS_LINES}); "
+        "move forwarding/control logic into the plane classes"
+    )
