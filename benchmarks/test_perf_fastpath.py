@@ -10,12 +10,16 @@ flaky on loaded machines); run with ``REPRO_PERF=1 pytest benchmarks/``
 or ``pytest benchmarks/ -m perf``.
 """
 
+import json
+
 import pytest
 
 from repro.experiments.perfbench import (
     bench_bloom_ops,
     bench_end_to_end,
+    bench_fault_overhead,
     bench_st_match,
+    default_output_path,
 )
 
 pytestmark = pytest.mark.perf
@@ -35,3 +39,22 @@ def test_end_to_end_cached_speedup_and_identical_counters():
     result = bench_end_to_end(players=124, updates=400)
     assert result["counters_identical"], result
     assert result["speedup"] >= 1.5, result
+
+
+def test_fault_hook_disabled_path_within_recorded_gate():
+    """The nil fast path (no plan installed) must not regress.
+
+    With no injector armed the per-egress cost is one attribute load
+    plus a None check on top of the plain send; hold it to the figure
+    recorded in ``BENCH_fastpath.json`` with generous machine slack.
+    """
+    result = bench_fault_overhead(sends=40_000)
+    recorded = json.loads(default_output_path().read_text())
+    baseline = recorded["fault_overhead"]["disabled"]["us_per_op"]
+    assert result["disabled"]["us_per_op"] <= baseline * 1.8, (result, baseline)
+
+
+def test_fault_hook_armed_overhead_bounded():
+    """Even armed-but-out-of-scope, the hook stays a small constant cost."""
+    result = bench_fault_overhead(sends=40_000)
+    assert result["armed_overhead_ratio"] <= 2.5, result

@@ -30,7 +30,7 @@ from repro.core.packets import (
     UnsubscribePacket,
 )
 from repro.core.hybrid import HybridEdgeRole, HybridMapper
-from repro.core.planes import ControlPlane, ForwardingPlane
+from repro.core.planes import ControlPlane, ForwardingPlane, RecoveryConfig
 from repro.core.roles import RelayRole, RpRole
 from repro.core.rp import RpTable
 from repro.core.snapshot import (
@@ -59,6 +59,7 @@ __all__ = [
     "GCopssNetworkBuilder",
     "ForwardingPlane",
     "ControlPlane",
+    "RecoveryConfig",
     "RpRole",
     "RelayRole",
     "RpLoadBalancer",

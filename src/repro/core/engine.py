@@ -60,7 +60,13 @@ from repro.core.packets import (
     SubscribePacket,
     UnsubscribePacket,
 )
-from repro.core.planes import RP_NAMESPACE, ControlPlane, ForwardingPlane, rp_target_of
+from repro.core.planes import (
+    RP_NAMESPACE,
+    ControlPlane,
+    ForwardingPlane,
+    RecoveryConfig,
+    rp_target_of,
+)
 from repro.core.roles import RelayRole, RpRole
 from repro.core.rp import RpTable
 from repro.core.subscriptions import SubscriptionTable
@@ -167,6 +173,20 @@ class GCopssRouter(NdnRouter):
     def initiate_handoff(self, prefixes: Iterable[Name], new_rp: str) -> CdHandoffPacket:
         """Old-RP side of a split (stage 1); called by the load balancer."""
         return self.control.initiate_handoff(prefixes, new_rp)
+
+    def enable_recovery(self, config: Optional[RecoveryConfig] = None) -> RecoveryConfig:
+        """Turn on the loss-recovery machinery (see RecoveryConfig)."""
+        return self.control.enable_recovery(config)
+
+    @property
+    def recovery(self) -> RecoveryConfig:
+        return self.control.recovery
+
+    def crash_reset(self) -> None:
+        """Crash semantics: lose queue/PIT/CS plus all COPSS soft state."""
+        super().crash_reset()
+        self.control.crash_reset()
+        self.forwarding.crash_reset()
 
     def _handle_fib_add(self, packet: FibAddPacket, face: Optional[Face]) -> None:
         self.control.handle_fib_add(packet, face)
@@ -287,6 +307,13 @@ class GCopssHost(NdnHost):
         self.subscriptions: Set[Name] = set()
         self.on_update: List[Callable[["GCopssHost", MulticastPacket], None]] = []
         self._seen = BoundedUidSet(dedup_horizon)
+        # Loss observability: per-CD publish counters stamp pub_seq onto
+        # outgoing updates; per-(publisher, cd) high-water marks detect
+        # gaps on the receive side.  Zero-cost for workloads that build
+        # MulticastPackets directly (pub_seq stays -1, tracking skipped).
+        self._pub_next: Dict[Name, int] = {}
+        self._seq_seen: Dict[Tuple[str, Name], int] = {}
+        self._refresh_interval: Optional[float] = None
         self.dispatcher.register(MulticastPacket, self._handle_update)
 
     updates_received = _stats_field("updates_received")
@@ -347,16 +374,56 @@ class GCopssHost(NdnHost):
         self, cd: "Name | str", payload_size: int, sequence: int = -1
     ) -> MulticastPacket:
         """Publish one update under ``cd`` (one-step COPSS push)."""
+        cd = Name.coerce(cd)
+        pub_seq = self._pub_next.get(cd, 0)
+        self._pub_next[cd] = pub_seq + 1
         packet = MulticastPacket(
-            cd=Name.coerce(cd),
+            cd=cd,
             payload_size=payload_size,
             publisher=self.name,
             sequence=sequence,
             created_at=self.sim.now,
+            pub_seq=pub_seq,
         )
         self.stats.published += 1
         self.send(self.access_face, packet)
         return packet
+
+    # ------------------------------------------------------------------
+    # Soft-state refresh (loss recovery)
+    # ------------------------------------------------------------------
+    def start_refresh(self, interval_ms: float) -> None:
+        """Periodically re-send the full subscription set.
+
+        The keep-alive that makes the host's subscriptions soft state:
+        edge routers running with ``RecoveryConfig.soft_state`` expire ST
+        entries that stop being refreshed, and a restarted RP re-learns
+        the tree from these refreshes.  The tick re-schedules itself until
+        :meth:`stop_refresh`; bound such runs with ``sim.run(until=...)``.
+        """
+        if interval_ms <= 0:
+            raise ValueError(f"refresh interval must be positive, got {interval_ms}")
+        restart = self._refresh_interval is None
+        self._refresh_interval = interval_ms
+        if restart:
+            self.sim.schedule(interval_ms, self._refresh_tick)
+
+    def stop_refresh(self) -> None:
+        self._refresh_interval = None
+
+    def _refresh_tick(self) -> None:
+        interval = self._refresh_interval
+        if interval is None:
+            return
+        if self.subscriptions:
+            self.send(
+                self.access_face,
+                SubscribePacket(
+                    cds=tuple(sorted(self.subscriptions)), created_at=self.sim.now
+                ),
+            )
+            self.stats.subscription_refreshes += 1
+        self.sim.schedule(interval, self._refresh_tick)
 
     # ------------------------------------------------------------------
     # Receive path (NDN traffic flows through the inherited dispatcher)
@@ -372,6 +439,18 @@ class GCopssHost(NdnHost):
             self.stats.duplicates_suppressed += 1
             return
         self.stats.updates_received += 1
+        if packet.pub_seq >= 0:
+            key = (packet.publisher, packet.cd)
+            last = self._seq_seen.get(key, -1)
+            if packet.pub_seq > last + 1:
+                self.stats.seq_gaps += 1
+                self.stats.seq_missing += packet.pub_seq - last - 1
+            if packet.pub_seq <= last:
+                # Behind the high-water mark: a reordered or duplicate-path
+                # delivery, not new loss; don't regress the mark.
+                self.stats.seq_late += 1
+            else:
+                self._seq_seen[key] = packet.pub_seq
         for callback in self.on_update:
             callback(self, packet)
 

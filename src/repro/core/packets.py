@@ -11,7 +11,7 @@ tree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import ClassVar, List, Optional, Tuple
 
 from repro.names import Name
 from repro.packets import Packet
@@ -44,6 +44,7 @@ def _coerce_names(values) -> Tuple[Name, ...]:
 @dataclass
 class SubscribePacket(Packet):
     """A subscription request for one or more CDs, sent toward the RP(s)."""
+    is_control: ClassVar[bool] = True
 
     cds: Tuple[Name, ...] = ()
 
@@ -59,6 +60,7 @@ class SubscribePacket(Packet):
 @dataclass
 class UnsubscribePacket(Packet):
     """Withdraws subscriptions for the given CDs."""
+    is_control: ClassVar[bool] = True
 
     cds: Tuple[Name, ...] = ()
 
@@ -79,6 +81,13 @@ class MulticastPacket(Packet):
     ``payload_size`` the game payload (50-350 bytes in the evaluation
     trace).  ``publisher`` and ``sequence`` identify the update for latency
     accounting; they are measurement metadata, not forwarding state.
+
+    ``pub_seq`` is an optional per-(publisher, CD) sequence number stamped
+    by :meth:`GCopssHost.publish` for loss observability: receivers detect
+    gaps in the stream and count them in ``NodeStats``.  ``-1`` (the
+    default, used by workloads that build packets directly) disables gap
+    tracking for the packet.  It rides inside the existing header budget,
+    so the wire-size formula is unchanged.
     """
 
     cd: Name = field(default_factory=Name)
@@ -86,6 +95,7 @@ class MulticastPacket(Packet):
     publisher: str = ""
     sequence: int = -1
     object_id: int = -1
+    pub_seq: int = -1
 
     def __post_init__(self) -> None:
         self.cd = Name.coerce(self.cd)
@@ -106,6 +116,7 @@ class FibAddPacket(Packet):
     §III-C).  ``origin`` is the node the prefixes should route toward
     (an RP announcing the CDs it serves).
     """
+    is_control: ClassVar[bool] = True
 
     prefixes: Tuple[Name, ...] = ()
     origin: str = ""
@@ -122,6 +133,7 @@ class FibAddPacket(Packet):
 @dataclass
 class FibRemovePacket(Packet):
     """Direct FIB maintenance: remove routes for ``prefixes``."""
+    is_control: ClassVar[bool] = True
 
     prefixes: Tuple[Name, ...] = ()
     origin: str = ""
@@ -138,6 +150,7 @@ class FibRemovePacket(Packet):
 @dataclass
 class CdHandoffPacket(Packet):
     """Old RP -> new RP: the list of CD prefixes the new RP takes over."""
+    is_control: ClassVar[bool] = True
 
     prefixes: Tuple[Name, ...] = ()
     old_rp: str = ""
@@ -161,6 +174,7 @@ class JoinPacket(Packet):
     flood has reached every router; ``epoch`` identifies the migration
     (one per RP split).
     """
+    is_control: ClassVar[bool] = True
 
     prefixes: Tuple[Name, ...] = ()
     epoch: int = 0
@@ -176,6 +190,7 @@ class JoinPacket(Packet):
 @dataclass
 class ConfirmPacket(Packet):
     """Upstream confirmation that the sender is on the new tree."""
+    is_control: ClassVar[bool] = True
 
     prefixes: Tuple[Name, ...] = ()
     epoch: int = 0
@@ -190,6 +205,7 @@ class ConfirmPacket(Packet):
 @dataclass
 class LeavePacket(Packet):
     """Detach from the old upstream once the new branch is confirmed."""
+    is_control: ClassVar[bool] = True
 
     prefixes: Tuple[Name, ...] = ()
     epoch: int = 0

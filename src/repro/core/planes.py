@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ForwardingPlane",
     "ControlPlane",
+    "RecoveryConfig",
     "RP_NAMESPACE",
     "rp_target_of",
 ]
@@ -79,6 +80,56 @@ def _intersects(cd: Name, prefixes: Iterable[Name]) -> bool:
     return any(p.is_prefix_of(cd) or cd.is_prefix_of(p) for p in prefixes)
 
 
+@dataclass
+class RecoveryConfig:
+    """Opt-in loss-recovery behaviour for one router's control plane.
+
+    Everything defaults to **off**: with a default config the router is
+    bit-identical to the pre-fault-plane protocol (no timers scheduled, no
+    extra state written), which is what the perf gates measure.  Enabling
+    pieces turns the hard-state protocol into the soft-state one the COPSS
+    lineage assumes:
+
+    * ``soft_state`` — ST entries expire ``st_ttl_ms`` after their last
+      (re-)Subscribe; a periodic sweep removes stale entries and propagates
+      upstream Unsubscribes, cleaning up after lost Leaves, dead hosts and
+      link flaps.  The TTL must comfortably exceed the refresh interval
+      (the chaos harness uses 8x) or ordinary refresh loss shows up as
+      churn.
+    * ``refresh`` — a periodic tick re-Subscribes every upstream-joined CD
+      (hop-by-hop keep-alive for the whole tree) and, on RPs, re-floods a
+      FIB-add for the served prefixes so partially-lost floods heal.
+    * ``retransmit`` — the migration handshake retries: Joins are re-sent
+      with exponential backoff while an epoch is PENDING, CD-handoffs are
+      re-sent until the new RP's FIB flood acknowledges them implicitly
+      (with a rollback after ``max_retries``), and tunnels that reach an
+      RP which no longer serves the CD are bounced via CD routes instead
+      of dropped.
+
+    Periodic ticks re-schedule themselves forever; runs with ``soft_state``
+    or ``refresh`` enabled must bound the simulation with
+    ``sim.run(until=...)``.
+    """
+
+    soft_state: bool = False
+    st_ttl_ms: float = 8000.0
+    sweep_interval_ms: float = 1000.0
+    refresh: bool = False
+    refresh_interval_ms: float = 2000.0
+    retransmit: bool = False
+    retry_interval_ms: float = 1000.0
+    retry_backoff: float = 2.0
+    max_retries: int = 5
+
+    @classmethod
+    def full(cls, **overrides) -> "RecoveryConfig":
+        """Everything on — the configuration the chaos harness runs."""
+        config = cls(soft_state=True, refresh=True, retransmit=True)
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+
 class _MigrationState(Enum):
     PENDING = auto()
     CONFIRMED = auto()
@@ -96,6 +147,21 @@ class _Migration:
     affected_cds: Set[Name] = field(default_factory=set)
     old_upstreams: Dict[Name, Set[Face]] = field(default_factory=dict)
     pending_downstream: Dict[Face, Set[Name]] = field(default_factory=dict)
+
+
+@dataclass
+class _PendingHandoff:
+    """Un-acked CD handoff at the old RP, kept until the new RP's FIB-add
+    flood comes back (the implicit ack) or retries exhaust and the state
+    captured here is rolled back."""
+
+    packet: CdHandoffPacket
+    out: Face
+    moved: Tuple[Name, ...]
+    new_rp: str
+    st_removed: Dict[Name, int]
+    prev_upstreams: Dict[Name, Optional[Set[Face]]]
+    prev_route: Optional[Face]
 
 
 class ForwardingPlane:
@@ -190,26 +256,50 @@ class ForwardingPlane:
                 self.stats.relays += 1
                 self.encapsulate_toward(mcast, relinquished)
                 return
+            # Addressed to us but we neither serve nor relay the CD: a
+            # crashed-and-restarted RP, or a handoff the sender has not
+            # heard about.  With retransmission recovery on, bounce the
+            # update toward whoever CD routes say serves it now (the
+            # ping-pong this can cause between an old and new RP ends as
+            # soon as the retried handoff or re-flood lands); legacy
+            # behaviour is to drop, which the no-RP counter records.
+            if self.control.recovery.retransmit:
+                targets = set(self.control.cd_routes.lookup(mcast.cd))
+                targets.discard(self.router.name)
+                if targets:
+                    self.stats.tunnel_bounces += 1
+                    self.encapsulate_toward(mcast, min(targets))
+                    return
             self.stats.multicast_dropped_no_rp += 1
             return
-        out = self.control.rp_route.get(target)
+        out = self._route_toward(target)
         if out is None:
             self.stats.multicast_dropped_no_rp += 1
             return
         out.send(tunnel)  # per-hop tunnel forward: skip the ownership re-check
 
+    def _route_toward(self, rp: str) -> Optional[Face]:
+        """Face toward ``rp``: the flood-learnt RP route when known, else
+        topology shortest path.  The fallback matters mid-handoff: a
+        relayed tunnel can transit a router the new RP's FIB flood has
+        not reached yet (the flood is control traffic and may itself be
+        delayed or lost), and dropping there would defeat the relay."""
+        face = self.control.rp_route.get(rp)
+        if face is not None:
+            return face
+        router = self.router
+        try:
+            return router.face_toward(router.network.next_hop(router.name, rp))
+        except Exception:
+            return None
+
     def encapsulate_toward(self, mcast: MulticastPacket, rp: str) -> None:
         """Wrap ``mcast`` in an ``/rp/<RP>`` Interest and send it one hop."""
         router = self.router
-        face = self.control.rp_route.get(rp)
+        face = self._route_toward(rp)
         if face is None:
-            # The FIB flood for a brand-new RP may not have reached us yet;
-            # fall back to topology-shortest-path routing rather than drop.
-            try:
-                face = router.face_toward(router.network.next_hop(router.name, rp))
-            except Exception:
-                self.stats.multicast_dropped_no_rp += 1
-                return
+            self.stats.multicast_dropped_no_rp += 1
+            return
         tunnel = Interest(
             name=Name([RP_NAMESPACE, rp]),
             payload=mcast,
@@ -235,6 +325,10 @@ class ForwardingPlane:
                 forwarded += 1
                 out.send(mcast)  # faces from our own ST; skip the self.send ownership re-check
         self.stats.multicasts_forwarded += forwarded
+
+    def crash_reset(self) -> None:
+        """Forget volatile data-path state (node crash/restart)."""
+        self.replicated = BoundedUidSet(DEDUP_HORIZON)
 
 
 class ControlPlane:
@@ -275,6 +369,96 @@ class ControlPlane:
         # cost of a generous linger is only a brief window of duplicate
         # deliveries, which uid dedup suppresses.
         self.leave_linger_ms = 400.0
+        # Loss recovery (all off by default; see RecoveryConfig).
+        self.recovery = RecoveryConfig()
+        # (face, cd) -> last (re-)Subscribe time; only written while
+        # soft_state is enabled.
+        self._st_touched: Dict[Tuple[Face, Name], float] = {}
+        # handoff packet uid -> rollback record, until the implicit ack.
+        self._pending_handoffs: Dict[int, _PendingHandoff] = {}
+
+    # ------------------------------------------------------------------
+    # Recovery plumbing
+    # ------------------------------------------------------------------
+    def enable_recovery(self, config: Optional[RecoveryConfig] = None) -> RecoveryConfig:
+        """Switch recovery on (everything, unless ``config`` narrows it).
+
+        Schedules the soft-state sweep and refresh ticks; they re-arm
+        themselves forever, so bound the run with ``sim.run(until=...)``.
+        """
+        self.recovery = config if config is not None else RecoveryConfig.full()
+        sim = self.router.sim
+        if self.recovery.soft_state and self.recovery.st_ttl_ms > 0:
+            sim.schedule(self.recovery.sweep_interval_ms, self._sweep_tick)
+        if self.recovery.refresh:
+            sim.schedule(self.recovery.refresh_interval_ms, self._refresh_tick)
+        return self.recovery
+
+    def _touch(self, face: Face, cd: Name) -> None:
+        """Refresh the soft-state timestamp of one ST entry."""
+        if self.recovery.soft_state:
+            self._st_touched[(face, cd)] = self.router.sim.now
+
+    def _sweep_tick(self) -> None:
+        cfg = self.recovery
+        if not cfg.soft_state:
+            return
+        now = self.router.sim.now
+        expired = [
+            key for key, touched in self._st_touched.items()
+            if now - touched >= cfg.st_ttl_ms
+        ]
+        for face, cd in expired:
+            self._st_touched.pop((face, cd), None)
+            self.stats.subscriptions_expired += 1
+            # Lenient removal: behaves exactly like a Leave from that
+            # branch, including upstream Unsubscribe propagation.
+            self.remove_subscriptions((cd,), face, strict=False)
+        self.router.sim.schedule(cfg.sweep_interval_ms, self._sweep_tick)
+
+    def _refresh_tick(self) -> None:
+        cfg = self.recovery
+        if not cfg.refresh:
+            return
+        router = self.router
+        now = router.sim.now
+        by_face: Dict[Face, Set[Name]] = {}
+        for cd, faces in self._upstream_joined.items():
+            for out in faces:
+                by_face.setdefault(out, set()).add(cd)
+        for out, cds in by_face.items():
+            router.send(out, SubscribePacket(cds=tuple(sorted(cds)), created_at=now))
+            self.stats.subscription_refreshes += 1
+        if self.rp.prefixes:
+            # RPs also re-announce their prefixes: a FIB flood partially
+            # lost to faults heals within one refresh interval.  A fresh
+            # uid is essential — re-sending the original flood would be
+            # swallowed by every router's seen_floods dedup.
+            flood = FibAddPacket(
+                prefixes=tuple(sorted(self.rp.prefixes)),
+                origin=router.name,
+                created_at=now,
+            )
+            self.handle_fib_add(flood, face=None)
+            self.stats.control_retransmits += 1
+        router.sim.schedule(cfg.refresh_interval_ms, self._refresh_tick)
+
+    def crash_reset(self) -> None:
+        """Drop all volatile control state (node crash/restart).
+
+        The served-prefix set and relay map survive — they are the node's
+        *configuration*; everything learned from peers (ST, routes, flood
+        dedup, migrations) is lost and must be re-learned through refresh.
+        """
+        for face in list(self.st.faces()):
+            self.st.drop_face(face)
+        self.cd_routes = Fib()
+        self.rp_route.clear()
+        self._upstream_joined.clear()
+        self.seen_floods = BoundedUidSet(DEDUP_HORIZON)
+        self.migrations.clear()
+        self._st_touched.clear()
+        self._pending_handoffs.clear()
 
     # ------------------------------------------------------------------
     # Subscription control path
@@ -288,6 +472,7 @@ class ControlPlane:
                 and cd not in self.st.all_cds()
             )
             first = self.st.ensure(face, cd)
+            self._touch(face, cd)
             if first:
                 self.join_upstream(cd)
             if appeared:
@@ -344,6 +529,8 @@ class ControlPlane:
                     continue
             else:
                 vanished = self.st.remove_all(face, cd) > 0
+            if vanished:
+                self._st_touched.pop((face, cd), None)
             if vanished and not self.st.has_any_subscriber(cd):
                 for out in self._upstream_joined.pop(cd, set()):
                     router.send(
@@ -376,38 +563,124 @@ class ControlPlane:
                 raise ValueError(f"{router.name} does not serve {prefix}")
         next_hop = router.network.next_hop(router.name, new_rp)
         out = router.face_toward(next_hop)
+        prev_route = self.rp_route.get(new_rp)
         for prefix in moved:
             self.rp.prefixes.discard(prefix)
             self.relay.relinquished[prefix] = new_rp
         # Relayed publications must reach the new RP before its FIB flood
         # comes back around; the handoff path itself is the route.
         self.rp_route[new_rp] = out
-        self._reverse_st_toward(moved, out)
-        self._flip_upstreams(moved, out)
+        st_removed = self._reverse_st_toward(moved, out)
+        prev_upstreams = self._flip_upstreams(moved, out)
         packet = CdHandoffPacket(
             prefixes=moved, old_rp=router.name, new_rp=new_rp, created_at=router.sim.now
         )
         router.send(out, packet)
+        if self.recovery.retransmit:
+            # Keep enough state to re-send the handoff until the new RP's
+            # FIB flood acknowledges it, or to roll the split back if it
+            # never does (otherwise a lost handoff leaves the moved CDs
+            # served by nobody — a permanent black hole).
+            self._pending_handoffs[packet.uid] = _PendingHandoff(
+                packet=packet,
+                out=out,
+                moved=moved,
+                new_rp=new_rp,
+                st_removed=st_removed,
+                prev_upstreams=prev_upstreams,
+                prev_route=prev_route,
+            )
+            self._arm_handoff_retry(packet.uid, retries_done=0)
         return packet
 
-    def _reverse_st_toward(self, moved: Tuple[Name, ...], path_face: Face) -> None:
-        """Detach the branch toward the new RP; it is now upstream."""
+    def _reverse_st_toward(
+        self, moved: Tuple[Name, ...], path_face: Face
+    ) -> Dict[Name, int]:
+        """Detach the branch toward the new RP; it is now upstream.
+
+        Returns the removed refcounts so a failed handoff can restore them.
+        """
+        removed: Dict[Name, int] = {}
         for cd in self.st.cds_on(path_face):
             if _intersects(cd, moved):
-                self.st.remove_all(path_face, cd)
+                removed[cd] = self.st.remove_all(path_face, cd)
+                self._st_touched.pop((path_face, cd), None)
+        return removed
 
-    def _flip_upstreams(self, moved: Tuple[Name, ...], new_up: Optional[Face]) -> None:
-        """Point upstream-tree state for everything under ``moved`` at ``new_up``."""
+    def _flip_upstreams(
+        self, moved: Tuple[Name, ...], new_up: Optional[Face]
+    ) -> Dict[Name, Optional[Set[Face]]]:
+        """Point upstream-tree state for everything under ``moved`` at ``new_up``.
+
+        Returns the previous pointers (``None`` for CDs that had none) so a
+        failed handoff can restore them.
+        """
         affected = [
             cd
             for cd in set(self._upstream_joined) | self.st.all_cds() | set(moved)
             if _intersects(cd, moved)
         ]
+        prev: Dict[Name, Optional[Set[Face]]] = {}
         for cd in affected:
+            prev[cd] = (
+                set(self._upstream_joined[cd]) if cd in self._upstream_joined else None
+            )
             if new_up is None:
                 self._upstream_joined.pop(cd, None)
             else:
                 self._upstream_joined[cd] = {new_up}
+        return prev
+
+    def _arm_handoff_retry(self, uid: int, retries_done: int) -> None:
+        cfg = self.recovery
+        delay = cfg.retry_interval_ms * (cfg.retry_backoff ** retries_done)
+        self.router.sim.schedule(delay, self._handoff_retry, uid, retries_done)
+
+    def _handoff_retry(self, uid: int, retries_done: int) -> None:
+        pending = self._pending_handoffs.get(uid)
+        if pending is None:
+            return  # acked (or rolled back) meanwhile
+        if retries_done >= self.recovery.max_retries:
+            self._rollback_handoff(uid)
+            return
+        # Re-send the *same* packet (same uid): every step of the handoff
+        # walk is idempotent (set-semantics ST ensure, route overwrites),
+        # and re-adoption at the new RP floods a fresh FIB-add, which is
+        # exactly the ack we are waiting for.
+        self.router.send(pending.out, pending.packet)
+        self.stats.control_retransmits += 1
+        self._arm_handoff_retry(uid, retries_done + 1)
+
+    def _rollback_handoff(self, uid: int) -> None:
+        """Give up on an un-acked split: become the serving RP again."""
+        pending = self._pending_handoffs.pop(uid, None)
+        if pending is None:
+            return
+        for prefix in pending.moved:
+            self.rp.prefixes.add(prefix)
+            self.relay.relinquished.pop(prefix, None)
+        if self.rp_route.get(pending.new_rp) is pending.out and pending.prev_route is None:
+            # Only undo the route we installed; a flood-learned route that
+            # has since replaced it is better information, keep it.
+            self.rp_route.pop(pending.new_rp, None)
+        for cd, count in pending.st_removed.items():
+            for _ in range(count):
+                self.st.subscribe(pending.out, cd)
+            self._touch(pending.out, cd)
+        for cd, prev in pending.prev_upstreams.items():
+            if prev is None:
+                self._upstream_joined.pop(cd, None)
+            else:
+                self._upstream_joined[cd] = set(prev)
+        self.stats.handoff_rollbacks += 1
+
+    def _complete_pending_handoffs(self, packet: FibAddPacket) -> None:
+        """A FIB flood from the new RP is the implicit handoff ack."""
+        for uid, pending in list(self._pending_handoffs.items()):
+            if packet.origin == pending.new_rp and any(
+                _intersects(prefix, pending.moved) for prefix in packet.prefixes
+            ):
+                del self._pending_handoffs[uid]
 
     def handle_handoff(self, packet: CdHandoffPacket, face: Face) -> None:
         """Stage 2: reverse ST edges along the old-RP -> new-RP path."""
@@ -419,6 +692,7 @@ class ControlPlane:
             for prefix in moved:
                 self.rp.prefixes.add(prefix)
                 self.st.ensure(face, prefix)
+                self._touch(face, prefix)
             self._flip_upstreams(moved, None)
             flood = FibAddPacket(
                 prefixes=moved, origin=router.name, created_at=router.sim.now
@@ -431,6 +705,7 @@ class ControlPlane:
         self.rp_route[packet.new_rp] = out
         for prefix in moved:
             self.st.ensure(face, prefix)
+            self._touch(face, prefix)
         self._reverse_st_toward(moved, out)
         self._flip_upstreams(moved, out)
         router.send(out, packet)
@@ -450,6 +725,8 @@ class ControlPlane:
         if packet.origin != router.name and face is not None:
             # Flood-learn: the first copy arrived along the fastest path.
             self.rp_route[packet.origin] = face
+        if self._pending_handoffs:
+            self._complete_pending_handoffs(packet)
         for out in router.faces.values():
             if out is not face and out.peer.is_copss_router:
                 router.send(out, packet)
@@ -498,6 +775,16 @@ class ControlPlane:
         needs_move = [
             cd for cd in affected if old_upstreams[cd] and old_upstreams[cd] != {new_up}
         ]
+        if self.recovery.refresh:
+            # Repair orphaned subscriptions: a crashed-and-restarted
+            # router has ST subscribers (rebuilt by keep-alives) but lost
+            # its upstream-join pointers, so the first-subscriber join
+            # never fired — or fired into an empty CD-route table.  The
+            # periodic RP re-flood that brought us here is the signal
+            # that routes are back; join upstream now.
+            for cd in sorted(affected):
+                if not old_upstreams[cd] and self.st.has_any_subscriber(cd):
+                    self.join_upstream(cd)
         migration = _Migration(
             epoch=packet.uid,
             origin=packet.origin,
@@ -518,6 +805,41 @@ class ControlPlane:
                     created_at=router.sim.now,
                 ),
             )
+            self._arm_join_retry(packet.uid, retries_done=0)
+
+    def _arm_join_retry(self, epoch: int, retries_done: int) -> None:
+        cfg = self.recovery
+        if not cfg.retransmit:
+            return
+        delay = cfg.retry_interval_ms * (cfg.retry_backoff ** retries_done)
+        self.router.sim.schedule(delay, self._join_retry, epoch, retries_done)
+
+    def _join_retry(self, epoch: int, retries_done: int) -> None:
+        migration = self.migrations.get(epoch)
+        if (
+            migration is None
+            or migration.state is _MigrationState.CONFIRMED
+            or not migration.join_cds
+        ):
+            return
+        if retries_done >= self.recovery.max_retries:
+            return  # give up; soft-state refresh is the backstop
+        router = self.router
+        # A retried Join that finds the upstream already CONFIRMED (our
+        # earlier Join arrived but its Confirm was lost) is answered from
+        # the CONFIRMED branch of handle_join — this retry therefore
+        # recovers loss in either direction of the handshake.
+        router.send(
+            migration.new_upstream,
+            JoinPacket(
+                prefixes=tuple(sorted(migration.join_cds)),
+                epoch=epoch,
+                origin=migration.origin,
+                created_at=router.sim.now,
+            ),
+        )
+        self.stats.control_retransmits += 1
+        self._arm_join_retry(epoch, retries_done + 1)
 
     def handle_join(self, packet: JoinPacket, face: Face) -> None:
         """Graft a migrating branch: attach, confirm, or stash as pending."""
@@ -529,6 +851,7 @@ class ControlPlane:
             # We are the new root: the branch attaches immediately.
             for cd in cds:
                 self.st.ensure(face, cd)
+                self._touch(face, cd)
             router.send(
                 face, ConfirmPacket(epoch=packet.epoch, created_at=router.sim.now)
             )
@@ -537,6 +860,7 @@ class ControlPlane:
         if migration is not None and migration.state is _MigrationState.CONFIRMED:
             for cd in cds:
                 first = self.st.ensure(face, cd)
+                self._touch(face, cd)
                 if first:
                     self.join_upstream(cd)
             router.send(
@@ -567,6 +891,7 @@ class ControlPlane:
                     created_at=router.sim.now,
                 ),
             )
+            self._arm_join_retry(packet.epoch, retries_done=0)
             return
         # PENDING: stash the request; forward any CDs not yet covered.
         migration.pending_downstream.setdefault(face, set()).update(cds)
@@ -594,6 +919,7 @@ class ControlPlane:
         for down_face, cds in migration.pending_downstream.items():
             for cd in cds:
                 self.st.ensure(down_face, cd)
+                self._touch(down_face, cd)
             router.send(
                 down_face, ConfirmPacket(epoch=packet.epoch, created_at=router.sim.now)
             )

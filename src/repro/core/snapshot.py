@@ -369,14 +369,25 @@ class QrSnapshotFetcher:
         on_complete: Optional[Callable[["QrSnapshotFetcher"], None]] = None,
         interest_lifetime: float = 4000.0,
         max_retries: int = 3,
+        retry_backoff_ms: float = 0.0,
+        backoff_factor: float = 2.0,
     ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
+        if retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be >= 0")
         self.host = host
         self.window = window
         self.on_complete = on_complete
         self.interest_lifetime = interest_lifetime
         self.max_retries = max_retries
+        # Base delay before the n-th retry of a name:
+        # ``retry_backoff_ms * backoff_factor**(n-1)``.  The default of 0
+        # keeps the legacy immediate-retry behaviour; chaos runs set a
+        # base so a lossy or congested path is not hammered in lockstep
+        # with the Interest lifetime.
+        self.retry_backoff_ms = retry_backoff_ms
+        self.backoff_factor = backoff_factor
         self.started_at = host.sim.now
         self.finished_at: Optional[float] = None
         self.objects_fetched = 0
@@ -418,6 +429,9 @@ class QrSnapshotFetcher:
         if name not in self._outstanding:
             return
         self._outstanding.discard(name)
+        # Prune the retry counter once a name succeeds, or a long session
+        # that retries many distinct names grows this dict without bound.
+        self._retry_counts.pop(name, None)
         self.objects_fetched += 1
         if self._queue:
             self._issue_next()
@@ -431,19 +445,32 @@ class QrSnapshotFetcher:
         if count < self.max_retries:
             self._retry_counts[name] = count + 1
             self.retries += 1
-            self.host.express_interest(
-                name,
-                on_data=lambda data, n=name: self._on_data(n, data),
-                lifetime=self.interest_lifetime,
-                on_timeout=lambda n: self._on_timeout(n),
-            )
+            if self.retry_backoff_ms > 0:
+                self.host.sim.schedule(
+                    self.retry_backoff_ms * self.backoff_factor**count,
+                    self._reissue,
+                    name,
+                )
+            else:
+                self._reissue(name)
             return
         self._outstanding.discard(name)
+        self._retry_counts.pop(name, None)
         self.failed.append(name)
         if self._queue:
             self._issue_next()
         elif not self._outstanding:
             self._finish()
+
+    def _reissue(self, name: Name) -> None:
+        if name not in self._outstanding:
+            return  # satisfied (late Data) while the backoff timer ran
+        self.host.express_interest(
+            name,
+            on_data=lambda data, n=name: self._on_data(n, data),
+            lifetime=self.interest_lifetime,
+            on_timeout=lambda n: self._on_timeout(n),
+        )
 
     def _finish(self) -> None:
         self.finished_at = self.host.sim.now

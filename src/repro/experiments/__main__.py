@@ -113,6 +113,37 @@ def _cmd_perfbench(args: argparse.Namespace) -> None:
     print(render_perfbench(report))
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.chaos import run_chaos
+
+    report = run_chaos(
+        plan_name=args.plan, seed=args.seed, scale=args.scale, loss=args.loss
+    )
+    body = report.as_dict()
+    if args.out:
+        Path(args.out).write_text(json.dumps(body, indent=2, sort_keys=True) + "\n")
+    rows = [
+        ("plan", args.plan),
+        ("seed", args.seed),
+        ("events", body["events_total"]),
+        ("checked", body["events_checked"]),
+        ("expected deliveries", body["deliveries_expected"]),
+        ("permanent misses", body["permanent_misses"]),
+        ("injected drops", body["fault_stats"]["dropped"]),
+        ("control retransmits", body["node_counters"]["control_retransmits"]),
+        ("subscriptions expired", body["node_counters"]["subscriptions_expired"]),
+        ("tunnel bounces", body["node_counters"]["tunnel_bounces"]),
+        ("invariant", "OK" if body["invariant_ok"] else "VIOLATED"),
+        ("digest", body["digest"][:16]),
+    ]
+    print(render_table("Chaos: delivery under faults", ("metric", "value"), rows))
+    if not body["invariant_ok"]:
+        raise SystemExit(1)
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     for name in ("fig3", "fig4", "table1", "fig6", "table2", "table3"):
         print(f"\n===== {name} =====")
@@ -134,6 +165,7 @@ _DISPATCH = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "perfbench": _cmd_perfbench,
+    "chaos": _cmd_chaos,
     "all": _cmd_all,
 }
 
@@ -175,6 +207,20 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="output path (default: BENCH_fastpath.json at repo root)")
     p.add_argument("--quick", action="store_true",
                    help="shrunken loop counts for smoke tests")
+
+    p = sub.add_parser(
+        "chaos", help="fault-injection delivery-invariant check (lossless handover)"
+    )
+    from repro.experiments.chaos import PLAN_NAMES
+
+    p.add_argument("--plan", type=str, default="rp-split-lossy", choices=PLAN_NAMES)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="fraction of the 12,440-event testbed trace")
+    p.add_argument("--loss", type=float, default=0.05,
+                   help="per-link loss probability (or burst entry probability)")
+    p.add_argument("--out", type=str, default="",
+                   help="write the full JSON report to this path")
 
     sub.add_parser("all", help="run every artifact at default scale")
     return parser

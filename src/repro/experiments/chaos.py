@@ -1,0 +1,406 @@
+"""Chaos harness: the lossless-handover claim under injected faults.
+
+The paper's §IV-B protocol is advertised as losing no packets through an
+RP split.  Every other experiment in this repo exercises it over a
+perfect fabric; this one replays the Fig. 4 microbenchmark workload while
+a :class:`~repro.sim.faults.FaultInjector` degrades the network — control
+-plane loss, burst loss, a flapping backbone link or a crashing RP — and
+then checks the **delivery invariant**: no subscriber permanently misses
+an update for a CD it holds, even though the CD migrated RPs mid-run.
+
+Mechanics:
+
+* the 62-player testbed (Fig. 3b) converges subscriptions fault-free,
+  with the full recovery stack enabled (soft-state ST + refresh +
+  handshake retransmission, see
+  :class:`~repro.core.planes.RecoveryConfig`) and every host running the
+  periodic re-Subscribe keep-alive;
+* the fault plan arms exactly when the workload starts, and a forced
+  balancer split moves half of R1's CD set to R4 mid-trace — the same
+  three-stage handoff/join/confirm/leave path the auto-balancer takes;
+* every publish goes through :meth:`GCopssHost.publish`, so updates carry
+  ``pub_seq`` and receivers count gaps in ``NodeStats`` (loss
+  observability) independent of the invariant bookkeeping;
+* after a drain period the harness compares who *should* have received
+  each update (visibility map minus the publisher) with who did.
+
+Plans whose faults only touch the control plane must deliver **every**
+update (``check_after_ms == 0``): data packets are never dropped, so any
+miss is the protocol losing the tree.  Plans that black-hole data too (a
+down link, a crashed RP) assert recovery instead: every update published
+after the fault clears plus a recovery margin must be delivered.
+
+Reports are JSON with a content digest over the miss set, delivery count
+and injected-drop tally, so two runs of the same (plan, seed, scale) can
+be compared byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.balancer import RpLoadBalancer, SplitPolicy, default_refiner
+from repro.core.engine import GCopssHost, GCopssNetworkBuilder, GCopssRouter
+from repro.core.planes import RecoveryConfig
+from repro.core.rp import RpTable
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.common import subscribers_by_leaf_cd
+from repro.experiments.fig4_microbench import microbenchmark_placement
+from repro.game.map import GameMap
+from repro.names import ROOT, Name
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    GilbertElliott,
+    LinkFaults,
+    NodeFaults,
+)
+from repro.sim.stats import LatencyRecorder, summarize
+from repro.topology.benchmark import build_benchmark_topology
+from repro.trace.generator import CounterStrikeTraceGenerator, microbenchmark_spec
+
+__all__ = ["ChaosTimeline", "ChaosReport", "PLAN_NAMES", "build_plan", "run_chaos"]
+
+#: The RP the forced split sheds load to.
+NEW_RP = "R4"
+
+
+@dataclass
+class ChaosTimeline:
+    """Absolute simulated-ms schedule of one chaos run.
+
+    Phase 0 (0 .. ``subscribe_ms``) converges subscriptions fault-free;
+    the workload, the armed fault plan and the forced split all start
+    after it.  Fault windows are expressed in absolute sim time so the
+    plan, the trace and the invariant window line up exactly.
+    """
+
+    subscribe_ms: float = 500.0
+    split_offset_ms: float = 600.0       # split at subscribe_ms + offset
+    flap_window_ms: Tuple[float, float] = (1000.0, 1600.0)
+    crash_at_ms: float = 1500.0
+    restart_at_ms: float = 2500.0
+    drain_ms: float = 2500.0
+    refresh_interval_ms: float = 500.0
+
+    @property
+    def split_at_ms(self) -> float:
+        return self.subscribe_ms + self.split_offset_ms
+
+    @property
+    def recovery_margin_ms(self) -> float:
+        """Refresh rounds needed to rebuild state after a blackout ends."""
+        return 2 * self.refresh_interval_ms + 500.0
+
+
+def _plan_none(seed: int, loss: float, timeline: ChaosTimeline) -> FaultPlan:
+    return FaultPlan(seed=seed, name="none")
+
+
+def _plan_rp_split_lossy(seed: int, loss: float, timeline: ChaosTimeline) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        name="rp-split-lossy",
+        default=LinkFaults(loss=loss, scope="control"),
+    )
+
+
+def _plan_rp_split_burst(seed: int, loss: float, timeline: ChaosTimeline) -> FaultPlan:
+    # Mean burst of 2 lost control packets; stationary loss fraction
+    # loss / (loss + 0.5), i.e. ~9% at the default 5% entry probability.
+    # The chain advances per control packet, so on a quiet access link a
+    # burst spans real time — long bad dwells model short partitions,
+    # and a partition outlasting the soft-state TTL is *supposed* to
+    # lose deliveries.  Keep mean bursts well under TTL/refresh.
+    return FaultPlan(
+        seed=seed,
+        name="rp-split-burst",
+        default=LinkFaults(
+            burst=GilbertElliott(p_good_to_bad=min(1.0, loss), p_bad_to_good=0.5),
+            scope="control",
+        ),
+    )
+
+
+def _plan_link_flap(seed: int, loss: float, timeline: ChaosTimeline) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        name="link-flap",
+        links={"R1<->R2": LinkFaults(down=(timeline.flap_window_ms,))},
+        default=LinkFaults(loss=loss, scope="control"),
+    )
+
+
+def _plan_rp_crash(seed: int, loss: float, timeline: ChaosTimeline) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        name="rp-crash",
+        nodes={
+            NEW_RP: NodeFaults(
+                crash_at=timeline.crash_at_ms, restart_at=timeline.restart_at_ms
+            )
+        },
+        default=LinkFaults(loss=loss, scope="control"),
+    )
+
+
+_PLAN_BUILDERS: Dict[str, Callable[[int, float, ChaosTimeline], FaultPlan]] = {
+    "none": _plan_none,
+    "rp-split-lossy": _plan_rp_split_lossy,
+    "rp-split-burst": _plan_rp_split_burst,
+    "link-flap": _plan_link_flap,
+    "rp-crash": _plan_rp_crash,
+}
+
+PLAN_NAMES: Tuple[str, ...] = tuple(sorted(_PLAN_BUILDERS))
+
+
+def build_plan(name: str, seed: int, loss: float, timeline: ChaosTimeline) -> FaultPlan:
+    """Instantiate one of the named fault plans."""
+    try:
+        builder = _PLAN_BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown plan {name!r}; choose from {PLAN_NAMES}") from None
+    return builder(seed, loss, timeline)
+
+
+def _check_after(plan_name: str, timeline: ChaosTimeline) -> float:
+    """Absolute time from which the delivery invariant is strict.
+
+    Control-scope plans never touch data packets, so every update counts.
+    Blackout plans (down windows, crashes) legitimately lose data while
+    the fault is active; the invariant starts once the fault clears and
+    refresh has had time to rebuild the tree.
+    """
+    if plan_name == "link-flap":
+        return timeline.flap_window_ms[1] + timeline.recovery_margin_ms
+    if plan_name == "rp-crash":
+        return timeline.restart_at_ms + timeline.recovery_margin_ms
+    return 0.0
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, JSON-serialisable."""
+
+    plan: dict
+    seed: int
+    scale: float
+    loss: float
+    check_after_ms: float
+    events_total: int
+    events_checked: int
+    deliveries_expected: int
+    deliveries_got: int
+    permanent_misses: int
+    missed_sample: List[Tuple[int, str]]
+    invariant_ok: bool
+    split: Optional[Tuple[str, List[str]]]
+    fault_stats: dict
+    node_counters: Dict[str, int]
+    latency: dict
+    timeline: dict = field(default_factory=dict)
+
+    def digest(self) -> str:
+        """Content hash for reproducibility checks across runs."""
+        payload = json.dumps(
+            {
+                "missed": sorted(self.missed_sample),
+                "expected": self.deliveries_expected,
+                "got": self.deliveries_got,
+                "dropped": self.fault_stats.get("dropped", 0),
+                "counters": self.node_counters,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def as_dict(self) -> dict:
+        """The JSON report body (digest included)."""
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "scale": self.scale,
+            "loss": self.loss,
+            "check_after_ms": self.check_after_ms,
+            "events_total": self.events_total,
+            "events_checked": self.events_checked,
+            "deliveries_expected": self.deliveries_expected,
+            "deliveries_got": self.deliveries_got,
+            "permanent_misses": self.permanent_misses,
+            "missed_sample": self.missed_sample[:50],
+            "invariant_ok": self.invariant_ok,
+            "split": self.split,
+            "fault_stats": self.fault_stats,
+            "node_counters": self.node_counters,
+            "latency": self.latency,
+            "timeline": self.timeline,
+            "digest": self.digest(),
+        }
+
+
+def run_chaos(
+    plan_name: str = "rp-split-lossy",
+    seed: int = 1,
+    scale: float = 0.05,
+    loss: float = 0.05,
+    timeline: Optional[ChaosTimeline] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> ChaosReport:
+    """Run the fig-4 workload under ``plan_name`` and check delivery.
+
+    ``scale`` shrinks the 12,440-event trace; ``loss`` parameterises the
+    plan's loss knob (Bernoulli rate, or burst entry probability).  The
+    run is fully deterministic in (plan, seed, scale, loss, timeline).
+    """
+    timeline = timeline if timeline is not None else ChaosTimeline()
+    game_map = GameMap(seed=seed)
+    placement = microbenchmark_placement(game_map)
+    hierarchy = game_map.hierarchy
+    spec = microbenchmark_spec(scale=scale, seed=seed)
+    events = CounterStrikeTraceGenerator(game_map, spec, placement=placement).generate()
+
+    topo = build_benchmark_topology(
+        router_factory=lambda net, name: GCopssRouter(
+            net,
+            name,
+            service_time=calibration.testbed_copss_forward_ms,
+            rp_service_time=calibration.rp_service_ms,
+        ),
+        host_factory=GCopssHost,
+        host_names=sorted(placement),
+        inter_router_delay_ms=calibration.testbed_router_delay_ms,
+        host_delay_ms=calibration.testbed_host_delay_ms,
+    )
+    network = topo.network
+    rp_table = RpTable()
+    rp_table.assign(ROOT, "R1")
+    GCopssNetworkBuilder(network, rp_table).install()
+
+    refresh = timeline.refresh_interval_ms
+    recovery = RecoveryConfig.full(
+        # TTL of 12 refresh intervals: a soft-state entry dies only after
+        # 12 consecutive lost keep-alives — vanishingly unlikely under
+        # independent loss, and still rare under correlated bursts whose
+        # chain advances slowly on quiet access links.  Expiry then only
+        # reaps genuinely dead state instead of live-but-unlucky branches.
+        st_ttl_ms=12 * refresh,
+        sweep_interval_ms=refresh,
+        refresh_interval_ms=refresh,
+        retry_interval_ms=250.0,
+        max_retries=8,
+    )
+    routers = [n for n in network.nodes.values() if isinstance(n, GCopssRouter)]
+    for router in routers:
+        router.enable_recovery(recovery)
+
+    hosts: Dict[str, GCopssHost] = {h.name: h for h in topo.hosts}  # type: ignore[misc]
+    for player, host in hosts.items():
+        host.subscribe(hierarchy.subscriptions_for(placement[player]))
+        host.start_refresh(refresh)
+
+    network.sim.run(until=timeline.subscribe_ms)  # converge fault-free
+    network.reset_counters()
+
+    # Arm the faults for the workload phase.
+    plan = build_plan(plan_name, seed, loss, timeline)
+    injector = FaultInjector(network, plan).install()
+
+    # Forced mid-trace split R1 -> R4 through the regular balancer path.
+    splits: List[Tuple[str, Tuple[Name, ...]]] = []
+    balancer = RpLoadBalancer(
+        network.nodes["R1"],  # type: ignore[arg-type]
+        candidates=[NEW_RP],
+        queue_threshold=10**9,  # never auto-trigger; the schedule decides
+        policy=SplitPolicy.RANDOM,
+        refiner=default_refiner(hierarchy),
+        rng=random.Random(seed),
+        spawn_on_split=False,
+        on_split=lambda new_rp, moved: splits.append((new_rp, moved)),
+    )
+    network.sim.schedule_at(timeline.split_at_ms, balancer.split)
+
+    # Delivery bookkeeping: who should see event i, who did.
+    subscribers = subscribers_by_leaf_cd(game_map, placement)
+    got: Set[Tuple[int, str]] = set()
+    latency = LatencyRecorder("chaos")
+
+    def on_update(host: GCopssHost, packet) -> None:
+        if packet.sequence >= 0:
+            got.add((packet.sequence, host.name))
+            latency.record(host.sim.now - packet.created_at)
+
+    for host in hosts.values():
+        host.on_update.append(on_update)
+
+    offset = network.sim.now
+
+    def publish(i: int, event) -> None:
+        hosts[event.player].publish(event.cd, event.size, sequence=i)
+
+    for i, event in enumerate(events):
+        network.sim.schedule_at(offset + event.time_ms, publish, i, event)
+
+    horizon = offset + (events[-1].time_ms if events else 0.0) + timeline.drain_ms
+    network.sim.run(until=horizon)
+
+    check_after = _check_after(plan_name, timeline)
+    expected = 0
+    checked = 0
+    missed: List[Tuple[int, str]] = []
+    for i, event in enumerate(events):
+        if offset + event.time_ms < check_after:
+            continue
+        checked += 1
+        for receiver in subscribers.get(event.cd, ()):  # type: ignore[arg-type]
+            if receiver == event.player:
+                continue
+            expected += 1
+            if (i, receiver) not in got:
+                missed.append((i, receiver))
+    missed.sort()
+
+    counters = {
+        "seq_gaps": sum(h.stats.seq_gaps for h in hosts.values()),
+        "seq_missing": sum(h.stats.seq_missing for h in hosts.values()),
+        "seq_late": sum(h.stats.seq_late for h in hosts.values()),
+        "control_retransmits": sum(r.stats.control_retransmits for r in routers),
+        "subscriptions_expired": sum(r.stats.subscriptions_expired for r in routers),
+        "subscription_refreshes": sum(r.stats.subscription_refreshes for r in routers)
+        + sum(h.stats.subscription_refreshes for h in hosts.values()),
+        "tunnel_bounces": sum(r.stats.tunnel_bounces for r in routers),
+        "handoff_rollbacks": sum(r.stats.handoff_rollbacks for r in routers),
+        "duplicates_suppressed": sum(
+            h.stats.duplicates_suppressed for h in hosts.values()
+        ),
+    }
+
+    return ChaosReport(
+        plan=plan.describe(),
+        seed=seed,
+        scale=scale,
+        loss=loss,
+        check_after_ms=check_after,
+        events_total=len(events),
+        events_checked=checked,
+        deliveries_expected=expected,
+        deliveries_got=len(got),
+        permanent_misses=len(missed),
+        missed_sample=missed,
+        invariant_ok=not missed and bool(splits),
+        split=(
+            (splits[0][0], [str(p) for p in splits[0][1]]) if splits else None
+        ),
+        fault_stats=injector.stats.as_dict(),
+        node_counters=counters,
+        latency=summarize(latency),
+        timeline={
+            "subscribe_ms": timeline.subscribe_ms,
+            "split_at_ms": timeline.split_at_ms,
+            "horizon_ms": horizon,
+        },
+    )

@@ -31,6 +31,7 @@ __all__ = [
     "bench_name_ops",
     "bench_bloom_ops",
     "bench_st_match",
+    "bench_fault_overhead",
     "bench_end_to_end",
     "run_perfbench",
     "default_output_path",
@@ -263,6 +264,70 @@ def bench_end_to_end(
 
 
 # ----------------------------------------------------------------------
+# Fault-injector overhead
+# ----------------------------------------------------------------------
+
+def bench_fault_overhead(sends: int = 100_000) -> Dict[str, object]:
+    """Per-send cost of the fault hook: disabled (nil) vs armed paths.
+
+    Every egress in the simulator now passes ``Link.fault_hook``; the
+    contract is that with no plan installed this is one attribute load
+    plus a ``None`` check.  Times three two-node micro-networks sending
+    the same packet stream:
+
+    * **disabled** — no injector; the nil fast path every run takes;
+    * **armed_out_of_scope** — control-scoped spec, data packets (the
+      realistic chaos arm: hook runs, scope gate passes them untouched);
+    * **armed_bernoulli** — in-scope Bernoulli loss (full RNG draw).
+    """
+    from repro.ndn.packets import Interest
+    from repro.sim.faults import FaultInjector, FaultPlan, LinkFaults
+    from repro.sim.network import Network, Node
+
+    class _Sink(Node):
+        """Discards everything; only the egress path is under test."""
+
+        def receive(self, packet, face) -> None:
+            pass
+
+    perf = time.perf_counter
+    packet = Interest(name=Name(["bench", "fault"]))
+    results: Dict[str, object] = {"sends": sends}
+
+    def one_arm(spec: Optional[LinkFaults]) -> float:
+        network = Network()
+        a, b = _Sink(network, "a"), _Sink(network, "b")
+        network.connect(a, b, delay=0.1)
+        if spec is not None:
+            plan = FaultPlan(seed=1, name="bench", links={"a<->b": spec})
+            FaultInjector(network, plan).install()
+        face = a.face_toward(b)
+        # Drain in batches so heap growth doesn't pollute the send timing.
+        batch = 10_000
+        elapsed = 0.0
+        done = 0
+        while done < sends:
+            n = min(batch, sends - done)
+            start = perf()
+            for _ in range(n):
+                face.send(packet)
+            elapsed += perf() - start
+            done += n
+            network.sim.run()
+        return elapsed
+
+    disabled = one_arm(None)
+    out_of_scope = one_arm(LinkFaults(loss=0.5, scope="control"))
+    bernoulli = one_arm(LinkFaults(loss=0.05, scope="all"))
+
+    results["disabled"] = _rate(disabled, sends)
+    results["armed_out_of_scope"] = _rate(out_of_scope, sends)
+    results["armed_bernoulli"] = _rate(bernoulli, sends)
+    results["armed_overhead_ratio"] = round(out_of_scope / disabled, 3)
+    return results
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 
@@ -285,6 +350,7 @@ def run_perfbench(
         "name_ops": bench_name_ops(rounds=rounds),
         "bloom_ops": bench_bloom_ops(rounds=rounds),
         "st_match": bench_st_match(probe_rounds=8 if quick else 40),
+        "fault_overhead": bench_fault_overhead(sends=20_000 if quick else 100_000),
         "end_to_end": bench_end_to_end(
             players=players if not quick else 124,
             updates=updates if not quick else 400,
@@ -300,6 +366,7 @@ def render_perfbench(report: Dict[str, object]) -> str:
     """Human-readable summary of a perfbench report."""
     st = report["st_match"]
     e2e = report["end_to_end"]
+    fault = report["fault_overhead"]
     lines = [
         "Forwarding fast-path benchmark",
         f"  name parse (warm, interned): {report['name_ops']['parse_warm']['us_per_op']} us/op",
@@ -308,6 +375,9 @@ def render_perfbench(report: Dict[str, object]) -> str:
         f"  ST match cold: {st['cold']['us_per_op']} us/op"
         f"  warm: {st['warm']['us_per_op']} us/op"
         f"  ({st['warm_speedup']}x warm speedup)",
+        f"  fault hook disabled: {fault['disabled']['us_per_op']} us/send"
+        f"  armed (out of scope): {fault['armed_out_of_scope']['us_per_op']} us/send"
+        f"  ({fault['armed_overhead_ratio']}x)",
         f"  end-to-end ({e2e['players']} players, {e2e['updates']} updates):"
         f" cached {e2e['cached_s']}s vs bypass {e2e['bypass_s']}s"
         f" ({e2e['speedup']}x), counters identical: {e2e['counters_identical']}",

@@ -133,6 +133,20 @@ class NdnRouter(Node):
             if out_face is not face:
                 self.send(out_face, data)
 
+    def crash_reset(self) -> None:
+        """Lose all volatile state, as a process crash would.
+
+        Called by the fault injector at both edges of a crash window: the
+        processing queue (including the packet in service), PIT and CS are
+        memory and vanish; the FIB is kept — it models configured routes
+        (:func:`install_routes` stands in for a routing protocol whose
+        re-convergence is out of scope).  Subclasses extend this with
+        their own soft state.
+        """
+        self.queue.flush()
+        self.pit = Pit()
+        self.cs = ContentStore(self.cs.capacity)
+
 
 class NdnHost(Node):
     """An end system speaking NDN: consumer and/or producer.

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 __all__ = ["Packet"]
 
@@ -26,6 +27,14 @@ class Packet:
     every packet instance distinguishable in PIT/dedup tables even when the
     payload is identical.
     """
+
+    #: Class marker read by the fault plane's scope filter: control-plane
+    #: packet types (Subscribe, FIB floods, the migration handshake, ...)
+    #: set this True so a fault plan can degrade control links without
+    #: touching data traffic, and vice versa.  A class attribute — like
+    #: ``Node.is_copss_router`` — so the sim layer needs no imports from
+    #: the protocol layers above it.
+    is_control: ClassVar[bool] = False
 
     size: int = 0
     created_at: float = 0.0

@@ -14,6 +14,14 @@ All simulated time is in **milliseconds** (floats); all sizes are in
 """
 
 from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    GilbertElliott,
+    LinkFaults,
+    NodeFaults,
+)
 from repro.sim.network import Link, Network, Node, PacketDispatcher
 from repro.sim.queues import ServiceQueue
 from repro.sim.roles import Role
@@ -31,4 +39,10 @@ __all__ = [
     "LoadMeter",
     "NodeStats",
     "SeriesRecorder",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "GilbertElliott",
+    "LinkFaults",
+    "NodeFaults",
 ]

@@ -150,8 +150,22 @@ class Face:
         Equivalent to ``link.transmit(self.node, packet)`` but uses the
         peer resolved at link construction, skipping the per-packet
         endpoint comparison — this is the per-hop hot path.
+
+        This is also the single fault-injection point: when a
+        :class:`~repro.sim.faults.FaultInjector` has armed the link, its
+        hook decides per packet whether the transmission is dropped (the
+        packet never accrues byte/packet counters — it left no trace on
+        the wire) or delayed by extra jitter.  With no plan installed the
+        cost is one attribute load and a ``None`` check.
         """
         link = self.link
+        delay = link.delay
+        hook = link.fault_hook
+        if hook is not None:
+            extra = hook(self, packet)
+            if extra is None:  # dropped at egress
+                return
+            delay += extra
         link.bytes_carried += packet.size
         link.packets_carried += 1
         peer = self._peer
@@ -159,7 +173,7 @@ class Face:
         if peer is None or peer_face is None:  # face not wired via Link()
             peer = self.peer
             peer_face = self.peer_face
-        link.sim.schedule(link.delay, peer.receive, packet, peer_face)
+        link.sim.schedule(delay, peer.receive, packet, peer_face)
 
     def __repr__(self) -> str:
         return f"Face({self.node.name}#{self.face_id}->{self.peer.name})"
@@ -174,7 +188,15 @@ class Link:
     queueing happen inside nodes.
     """
 
-    __slots__ = ("sim", "delay", "_ends", "bytes_carried", "packets_carried", "name")
+    __slots__ = (
+        "sim",
+        "delay",
+        "_ends",
+        "bytes_carried",
+        "packets_carried",
+        "name",
+        "fault_hook",
+    )
 
     def __init__(self, sim: Simulator, a: "Node", b: "Node", delay: float, name: str = "") -> None:
         if delay < 0:
@@ -191,6 +213,10 @@ class Link:
         face_b._peer, face_b._peer_face = a, face_a
         self.bytes_carried: int = 0
         self.packets_carried: int = 0
+        # Per-packet fault decision installed by a FaultInjector:
+        # ``hook(face, packet) -> None`` drops, ``-> float`` adds jitter.
+        # None (the default) is the nil fast path.
+        self.fault_hook: Optional[Callable[[Face, Packet], Optional[float]]] = None
 
     def peer_of(self, node: "Node") -> "Node":
         """The other endpoint of this link."""
@@ -210,19 +236,11 @@ class Link:
     def transmit(self, sender: "Node", packet: Packet) -> None:
         """Carry ``packet`` from ``sender`` to the opposite endpoint.
 
-        Delivery is scheduled after the link delay at the receiver's
-        ingress face; byte/packet counters accrue immediately.
+        Delegates to :meth:`Face.send` on the sender's face so counters
+        accrue in exactly one place and the fault hook applies uniformly
+        no matter which entry point transmitted.
         """
-        (a, face_a), (b, face_b) = self._ends
-        if sender is a:
-            receiver, ingress_face = b, face_b
-        elif sender is b:
-            receiver, ingress_face = a, face_a
-        else:
-            raise ValueError(f"{sender} is not an endpoint of {self}")
-        self.bytes_carried += packet.size
-        self.packets_carried += 1
-        self.sim.schedule(self.delay, receiver.receive, packet, ingress_face)
+        self.face_of(sender).send(packet)
 
     def __repr__(self) -> str:
         return f"Link({self.name}, {self.delay}ms)"

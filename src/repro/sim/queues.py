@@ -41,6 +41,7 @@ class ServiceQueue:
         self.total_wait_time: float = 0.0
         self.peak_queue_length: int = 0
         self._current_started_at: Optional[float] = None
+        self._current_handle = None  # in-service completion event
 
     # ------------------------------------------------------------------
     # State
@@ -83,7 +84,9 @@ class ServiceQueue:
             self._current_started_at = self.sim.now
             if self.peak_queue_length < 1:
                 self.peak_queue_length = 1
-            self.sim.schedule(service_time, self._complete, item, service_time, on_done)
+            self._current_handle = self.sim.schedule(
+                service_time, self._complete, item, service_time, on_done
+            )
         else:
             self._waiting.append((item, service_time, on_done, self.sim.now))
             if len(self._waiting) > self.peak_queue_length:
@@ -101,9 +104,12 @@ class ServiceQueue:
         started = self.sim.now
         self._current_started_at = started
         self.total_wait_time += started - arrived
-        self.sim.schedule(service_time, self._complete, item, service_time, on_done)
+        self._current_handle = self.sim.schedule(
+            service_time, self._complete, item, service_time, on_done
+        )
 
     def _complete(self, item: Any, service_time: float, on_done: Callable[[Any], None]) -> None:
+        self._current_handle = None
         self.served += 1
         self.total_service_time += service_time
         self._start_next()
@@ -118,6 +124,23 @@ class ServiceQueue:
         items = [entry[0] for entry in self._waiting]
         self._waiting.clear()
         return items
+
+    def flush(self) -> int:
+        """Drop everything, including the item in service (crash semantics).
+
+        A node crash loses the packets sitting in its processing queue:
+        waiting items are discarded *and* the in-service completion event
+        is cancelled, so no ``on_done`` fires for work the dead process
+        never finished.  Returns the number of items lost.
+        """
+        lost = len(self._waiting) + (1 if self._busy else 0)
+        self._waiting.clear()
+        if self._current_handle is not None:
+            self._current_handle.cancel()
+            self._current_handle = None
+        self._busy = False
+        self._current_started_at = None
+        return lost
 
     def __repr__(self) -> str:
         return (

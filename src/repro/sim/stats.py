@@ -65,6 +65,27 @@ class NodeStats:
     dropped_no_route: int = 0
     updates_handled: int = 0
     fanout_sent: int = 0
+    # Robustness / loss observability (fault plane + soft-state recovery).
+    #: Gap events in a (publisher, CD) sequence stream at a host: the
+    #: received pub_seq jumped past the next expected number.
+    seq_gaps: int = 0
+    #: Total sequence numbers skipped across all gap events.
+    seq_missing: int = 0
+    #: Updates that arrived with a pub_seq at or below the highest already
+    #: seen for their stream (reordered or duplicate-path deliveries).
+    seq_late: int = 0
+    #: Control packets re-sent by the recovery machinery (Join retries,
+    #: handoff retries, FIB re-floods).
+    control_retransmits: int = 0
+    #: Soft-state ST entries expired by the TTL sweep (missed refreshes).
+    subscriptions_expired: int = 0
+    #: Periodic re-Subscribe refreshes sent (hosts and routers).
+    subscription_refreshes: int = 0
+    #: Tunnels addressed to this RP for CDs it does not (yet) serve that
+    #: were re-routed via CD routes instead of dropped (lost-handoff path).
+    tunnel_bounces: int = 0
+    #: Handoffs rolled back after exhausting retransmissions.
+    handoff_rollbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """All counters by field name (insertion order = declaration order)."""

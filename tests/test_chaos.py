@@ -1,0 +1,85 @@
+"""Tier-1 smoke and property tests for the chaos harness.
+
+The full sweep (all plans x many seeds x loss rates) lives behind the
+``chaos`` CLI; here we pin the headline robustness claim — zero permanent
+delivery loss through an RP split at 5% control loss — plus seeded
+reproducibility, on a small workload so the whole module stays fast.
+"""
+
+import pytest
+
+from repro.experiments.chaos import (
+    PLAN_NAMES,
+    ChaosTimeline,
+    build_plan,
+    run_chaos,
+)
+
+SCALE = 0.02  # ~250 events, ~0.5 s per run
+
+
+def test_plan_names_cover_all_builders():
+    assert set(PLAN_NAMES) == {
+        "none",
+        "link-flap",
+        "rp-crash",
+        "rp-split-burst",
+        "rp-split-lossy",
+    }
+    with pytest.raises(ValueError, match="unknown plan"):
+        build_plan("bogus", seed=1, loss=0.05, timeline=ChaosTimeline())
+
+
+def test_rp_split_lossless_without_faults():
+    report = run_chaos("none", seed=1, scale=SCALE, loss=0.0)
+    assert report.split is not None
+    assert report.invariant_ok, report.missed_sample
+    assert report.deliveries_got == report.deliveries_expected > 0
+    assert report.fault_stats["dropped"] == 0
+
+
+def test_rp_split_survives_five_percent_control_loss():
+    """The acceptance bar: a forced RP split under 5% control-plane loss
+    must deliver every multicast to every live subscriber of its CD."""
+    report = run_chaos("rp-split-lossy", seed=1, scale=SCALE, loss=0.05)
+    assert report.split is not None
+    assert report.fault_stats["dropped"] > 0  # faults actually fired
+    assert report.permanent_misses == 0
+    assert report.invariant_ok
+
+
+@pytest.mark.parametrize("loss", [0.02, 0.12])
+def test_rp_split_lossy_property_sweep(loss):
+    report = run_chaos("rp-split-lossy", seed=3, scale=SCALE, loss=loss)
+    assert report.invariant_ok, report.missed_sample
+
+
+def test_rp_split_survives_burst_loss():
+    report = run_chaos("rp-split-burst", seed=2, scale=SCALE, loss=0.05)
+    assert report.invariant_ok, report.missed_sample
+
+
+def test_recovery_after_link_flap():
+    report = run_chaos("link-flap", seed=1, scale=SCALE, loss=0.03)
+    # The invariant is only checked after the flap window plus the
+    # recovery margin; inside the blackout losses are expected.
+    assert report.check_after_ms > 0
+    assert report.events_checked < report.events_total
+    assert report.invariant_ok, report.missed_sample
+
+
+def test_recovery_after_rp_crash():
+    report = run_chaos("rp-crash", seed=1, scale=SCALE, loss=0.03)
+    assert report.node_counters["subscription_refreshes"] > 0
+    assert report.invariant_ok, report.missed_sample
+
+
+def test_report_digest_is_reproducible():
+    a = run_chaos("rp-split-lossy", seed=7, scale=SCALE, loss=0.05)
+    b = run_chaos("rp-split-lossy", seed=7, scale=SCALE, loss=0.05)
+    c = run_chaos("rp-split-lossy", seed=8, scale=SCALE, loss=0.05)
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+    d = a.as_dict()
+    assert d["digest"] == a.digest()
+    assert d["invariant_ok"] is True
