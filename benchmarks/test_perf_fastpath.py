@@ -19,6 +19,7 @@ from repro.experiments.perfbench import (
     bench_end_to_end,
     bench_fault_overhead,
     bench_st_match,
+    bench_trace_overhead,
     default_output_path,
 )
 
@@ -58,3 +59,30 @@ def test_fault_hook_armed_overhead_bounded():
     """Even armed-but-out-of-scope, the hook stays a small constant cost."""
     result = bench_fault_overhead(sends=40_000)
     assert result["armed_overhead_ratio"] <= 2.5, result
+
+
+def test_trace_hook_disabled_path_within_recorded_gate():
+    """The telemetry nil fast path must not regress.
+
+    Same contract as the fault hook: with no tracer installed, every
+    egress pays one attribute load plus a None check.  Held to the
+    figure recorded in ``BENCH_fastpath.json`` with machine slack.
+    """
+    result = bench_trace_overhead(sends=40_000, e2e_scale=0.01)
+    recorded = json.loads(default_output_path().read_text())
+    baseline = recorded["trace_overhead"]["disabled"]["us_per_op"]
+    assert result["disabled"]["us_per_op"] <= baseline * 1.8, (result, baseline)
+
+
+def test_trace_e2e_transparent_and_overhead_bounded():
+    """Full telemetry (tracing + metric ticks) on the Fig. 4 schedule.
+
+    Recording everything costs wall clock (full sampling, every hop of
+    every packet — loosely bounded here at 5x so runaway regressions
+    still trip) but must change nothing observable: deliveries,
+    per-sample latencies and all accounting counters identical with
+    telemetry on vs off.
+    """
+    result = bench_trace_overhead(sends=10_000, e2e_scale=0.02)
+    assert result["e2e"]["counters_identical"], result
+    assert result["e2e"]["overhead_ratio"] <= 5.0, result

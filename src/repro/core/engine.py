@@ -151,7 +151,11 @@ class GCopssRouter(NdnRouter):
     # Queueing / service model
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, face: Face) -> None:
+        """Enqueue ``packet`` behind the per-type service cost."""
         self.stats.packets_received += 1
+        tracer = self.trace_hook
+        if tracer is not None:
+            tracer.on_enqueue(self, packet)
         self.queue.submit(
             (packet, face), self.forwarding.service_cost(packet, face), self._serve
         )
@@ -386,6 +390,9 @@ class GCopssHost(NdnHost):
             pub_seq=pub_seq,
         )
         self.stats.published += 1
+        tracer = self.trace_hook
+        if tracer is not None:
+            tracer.on_publish(self, packet)
         self.send(self.access_face, packet)
         return packet
 
@@ -429,16 +436,23 @@ class GCopssHost(NdnHost):
     # Receive path (NDN traffic flows through the inherited dispatcher)
     # ------------------------------------------------------------------
     def _handle_update(self, packet: MulticastPacket, face: Face) -> None:
+        tracer = self.trace_hook
         if packet.publisher == self.name:
             # A subscribed publisher hears its own update come back down
             # the tree (unless its access router happened to be the RP);
             # suppress uniformly — the player already knows its action.
             self.stats.own_updates_echoed += 1
+            if tracer is not None:
+                tracer.on_drop(self, packet, "own_echo")
             return
         if not self._seen.add(packet.uid):
             self.stats.duplicates_suppressed += 1
+            if tracer is not None:
+                tracer.on_drop(self, packet, "duplicate")
             return
         self.stats.updates_received += 1
+        if tracer is not None:
+            tracer.on_deliver(self, packet)
         if packet.pub_seq >= 0:
             key = (packet.publisher, packet.cd)
             last = self._seq_seen.get(key, -1)

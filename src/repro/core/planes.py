@@ -239,6 +239,9 @@ class ForwardingPlane:
         targets = self.control.cd_routes.lookup(mcast.cd)
         if not targets:
             self.stats.multicast_dropped_no_rp += 1
+            tracer = self.router.trace_hook
+            if tracer is not None:
+                tracer.on_drop(self.router, mcast, "no_rp")
             return
         self.encapsulate_toward(mcast, min(targets))
 
@@ -271,10 +274,16 @@ class ForwardingPlane:
                     self.encapsulate_toward(mcast, min(targets))
                     return
             self.stats.multicast_dropped_no_rp += 1
+            tracer = self.router.trace_hook
+            if tracer is not None:
+                tracer.on_drop(self.router, mcast, "no_rp")
             return
         out = self._route_toward(target)
         if out is None:
             self.stats.multicast_dropped_no_rp += 1
+            tracer = self.router.trace_hook
+            if tracer is not None:
+                tracer.on_drop(self.router, mcast, "no_route_to_rp")
             return
         out.send(tunnel)  # per-hop tunnel forward: skip the ownership re-check
 
@@ -299,6 +308,9 @@ class ForwardingPlane:
         face = self._route_toward(rp)
         if face is None:
             self.stats.multicast_dropped_no_rp += 1
+            tracer = router.trace_hook
+            if tracer is not None:
+                tracer.on_drop(router, mcast, "no_route_to_rp")
             return
         tunnel = Interest(
             name=Name([RP_NAMESPACE, rp]),
@@ -310,7 +322,11 @@ class ForwardingPlane:
     def decapsulated(
         self, mcast: MulticastPacket, serving: Name, exclude: Optional[Face]
     ) -> None:
+        """Count, trace and replicate an RP-decapsulated multicast."""
         self.stats.decapsulations += 1
+        tracer = self.router.trace_hook
+        if tracer is not None:
+            tracer.on_decap(self.router, mcast, serving)
         self.rp.record_decap(self.router, serving)
         self.replicate(mcast, exclude=exclude)
 
@@ -318,6 +334,9 @@ class ForwardingPlane:
         """Copy ``mcast`` onto every ST-matching face (once per uid)."""
         if not self.replicated.add(mcast.uid):
             self.stats.duplicate_multicasts_dropped += 1
+            tracer = self.router.trace_hook
+            if tracer is not None:
+                tracer.on_drop(self.router, mcast, "duplicate")
             return
         forwarded = 0
         for out in self.st.match(mcast.cd):

@@ -74,6 +74,13 @@ class RpRole(Role):
         for hook in self.on_decap:
             hook(node, serving)
 
+    def telemetry(self) -> dict:
+        """Served-prefix count and decap-window fill, as sampled gauges."""
+        return {
+            "prefixes": len(self.prefixes),
+            "recent_decaps": len(self.recent_cds),
+        }
+
 
 class RelayRole(Role):
     """Relinquished-prefix relaying after an RP handoff (stage 1)."""
@@ -85,6 +92,9 @@ class RelayRole(Role):
         #: Prefixes handed off: publications still arriving here are
         #: relayed to the new RP named in the mapping.
         self.relinquished: Dict[Name, str] = {}
+
+    def telemetry(self) -> dict:
+        return {"relinquished": len(self.relinquished)}
 
     def relay_target(self, cd: Name) -> Optional[str]:
         """Longest relinquished prefix covering ``cd``, via dict probes."""

@@ -119,8 +119,17 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
 
     from repro.experiments.chaos import run_chaos
 
+    telemetry = None
+    if args.trace:
+        from repro.obs.session import TelemetrySession
+
+        telemetry = TelemetrySession()
     report = run_chaos(
-        plan_name=args.plan, seed=args.seed, scale=args.scale, loss=args.loss
+        plan_name=args.plan,
+        seed=args.seed,
+        scale=args.scale,
+        loss=args.loss,
+        telemetry=telemetry,
     )
     body = report.as_dict()
     if args.out:
@@ -140,8 +149,55 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         ("digest", body["digest"][:16]),
     ]
     print(render_table("Chaos: delivery under faults", ("metric", "value"), rows))
+    if args.trace:
+        print()
+        print("injected drop reasons:", body["trace"]["drop_reasons"] or "(none)")
+        for item in body["trace"]["missed_chains"]:
+            print(
+                f"\nmissed update #{item['event_index']} -> {item['receiver']} "
+                f"(trace id {item['trace_id']}):"
+            )
+            for line in item["chain"]:
+                print(" ", line)
     if not body["invariant_ok"]:
         raise SystemExit(1)
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.experiments import tracerun
+
+    if args.trace_cmd == "record":
+        summary = tracerun.record_run(
+            out_dir=args.out,
+            workload=args.workload,
+            scale=args.scale,
+            seed=args.seed,
+            loss=args.loss,
+            plan=args.plan,
+            sample_every=args.sample_every,
+            metrics_interval_ms=args.metrics_interval,
+        )
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return
+    events = tracerun.load_events(args.events)
+    if args.trace_cmd == "drops":
+        from repro.obs.tracer import summarize_drops
+
+        rows = sorted(summarize_drops(events).items())
+        print(render_table("Drop reasons", ("reason", "count"), rows or [("—", 0)]))
+        return
+    # query
+    trace_id = args.id if args.id is not None else tracerun.pick_example_trace(events)
+    if trace_id is None:
+        print("no events recorded")
+        raise SystemExit(1)
+    chain, lines = tracerun.query_chain(events, trace_id, receiver=args.receiver)
+    scope = f" -> {args.receiver}" if args.receiver else ""
+    print(f"trace {trace_id}{scope}: {len(chain)} events")
+    for line in lines:
+        print(" ", line)
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -166,6 +222,7 @@ _DISPATCH = {
     "table3": _cmd_table3,
     "perfbench": _cmd_perfbench,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
     "all": _cmd_all,
 }
 
@@ -221,6 +278,40 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="per-link loss probability (or burst entry probability)")
     p.add_argument("--out", type=str, default="",
                    help="write the full JSON report to this path")
+    p.add_argument("--trace", action="store_true",
+                   help="record telemetry; on a miss, print the packet's hop chain")
+
+    p = sub.add_parser(
+        "trace", help="causal packet tracing: record a run, query hop chains"
+    )
+    tsub = p.add_subparsers(dest="trace_cmd", required=True)
+
+    tp = tsub.add_parser("record", help="replay a workload with telemetry on")
+    tp.add_argument("--workload", type=str, default="fig4",
+                    choices=("fig4", "chaos"))
+    tp.add_argument("--out", type=str, default="trace-out",
+                    help="directory for <workload>.events.jsonl / .chrome.json / .metrics.prom")
+    tp.add_argument("--scale", type=float, default=0.05)
+    tp.add_argument("--seed", type=int, default=7)
+    tp.add_argument("--loss", type=float, default=0.05,
+                    help="chaos only: per-link loss probability")
+    tp.add_argument("--plan", type=str, default="rp-split-lossy",
+                    choices=PLAN_NAMES, help="chaos only: fault plan")
+    tp.add_argument("--sample-every", type=int, default=1,
+                    help="trace only packets whose trace id divides by k")
+    tp.add_argument("--metrics-interval", type=float, default=100.0,
+                    help="metric sampling period, sim ms")
+
+    tp = tsub.add_parser("query", help="reconstruct one trace id's hop chain")
+    tp.add_argument("--events", type=str, required=True,
+                    help="path to a recorded .events.jsonl")
+    tp.add_argument("--id", type=int, default=None,
+                    help="trace id (default: an exemplary delivered trace)")
+    tp.add_argument("--receiver", type=str, default=None,
+                    help="restrict to the branch reaching this node")
+
+    tp = tsub.add_parser("drops", help="summarize drop reasons in a recording")
+    tp.add_argument("--events", type=str, required=True)
 
     sub.add_parser("all", help="run every artifact at default scale")
     return parser

@@ -59,6 +59,8 @@ from repro.sim.faults import (
     LinkFaults,
     NodeFaults,
 )
+from repro.obs.session import TelemetrySession
+from repro.obs.tracer import render_chain
 from repro.sim.stats import LatencyRecorder, summarize
 from repro.topology.benchmark import build_benchmark_topology
 from repro.trace.generator import CounterStrikeTraceGenerator, microbenchmark_spec
@@ -204,6 +206,10 @@ class ChaosReport:
     node_counters: Dict[str, int]
     latency: dict
     timeline: dict = field(default_factory=dict)
+    #: Telemetry findings (hop chains of missed deliveries, drop reasons)
+    #: when the run was recorded; empty otherwise.  Deliberately outside
+    #: :meth:`digest` so traced and untraced runs stay digest-comparable.
+    trace: dict = field(default_factory=dict)
 
     def digest(self) -> str:
         """Content hash for reproducibility checks across runs."""
@@ -239,6 +245,7 @@ class ChaosReport:
             "node_counters": self.node_counters,
             "latency": self.latency,
             "timeline": self.timeline,
+            "trace": self.trace,
             "digest": self.digest(),
         }
 
@@ -250,12 +257,19 @@ def run_chaos(
     loss: float = 0.05,
     timeline: Optional[ChaosTimeline] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> ChaosReport:
     """Run the fig-4 workload under ``plan_name`` and check delivery.
 
     ``scale`` shrinks the 12,440-event trace; ``loss`` parameterises the
     plan's loss knob (Bernoulli rate, or burst entry probability).  The
     run is fully deterministic in (plan, seed, scale, loss, timeline).
+
+    Passing a :class:`~repro.obs.session.TelemetrySession` records the
+    faulted phase: the report's ``trace`` block then carries the full
+    hop chain of the first missed deliveries (drop reason included) and
+    a drop-reason summary — everything else, digest included, is
+    bit-identical to an untraced run.
     """
     timeline = timeline if timeline is not None else ChaosTimeline()
     game_map = GameMap(seed=seed)
@@ -309,6 +323,9 @@ def run_chaos(
     # Arm the faults for the workload phase.
     plan = build_plan(plan_name, seed, loss, timeline)
     injector = FaultInjector(network, plan).install()
+    if telemetry is not None:
+        # After the injector: fault drops then carry the injector's reason.
+        telemetry.install(network, fault_stats=injector.stats)
 
     # Forced mid-trace split R1 -> R4 through the regular balancer path.
     splits: List[Tuple[str, Tuple[Name, ...]]] = []
@@ -338,14 +355,19 @@ def run_chaos(
         host.on_update.append(on_update)
 
     offset = network.sim.now
+    uid_by_seq: Dict[int, int] = {}
 
     def publish(i: int, event) -> None:
-        hosts[event.player].publish(event.cd, event.size, sequence=i)
+        packet = hosts[event.player].publish(event.cd, event.size, sequence=i)
+        if telemetry is not None:
+            uid_by_seq[i] = packet.uid
 
     for i, event in enumerate(events):
         network.sim.schedule_at(offset + event.time_ms, publish, i, event)
 
     horizon = offset + (events[-1].time_ms if events else 0.0) + timeline.drain_ms
+    if telemetry is not None:
+        telemetry.schedule_metrics(horizon)
     network.sim.run(until=horizon)
 
     check_after = _check_after(plan_name, timeline)
@@ -379,6 +401,29 @@ def run_chaos(
         ),
     }
 
+    trace_block: dict = {}
+    if telemetry is not None:
+        tracer = telemetry.tracer
+        chains = []
+        for i, receiver in missed[:3]:
+            tid = uid_by_seq.get(i)
+            if tid is None:
+                continue
+            chains.append(
+                {
+                    "event_index": i,
+                    "receiver": receiver,
+                    "trace_id": tid,
+                    "chain": render_chain(tracer.hop_chain(tid, receiver=receiver)),
+                }
+            )
+        trace_block = {
+            "events_recorded": len(tracer.events),
+            "drop_reasons": tracer.drop_summary(),
+            "missed_chains": chains,
+        }
+        telemetry.finish()
+
     return ChaosReport(
         plan=plan.describe(),
         seed=seed,
@@ -403,4 +448,5 @@ def run_chaos(
             "split_at_ms": timeline.split_at_ms,
             "horizon_ms": horizon,
         },
+        trace=trace_block,
     )

@@ -32,6 +32,7 @@ __all__ = [
     "bench_bloom_ops",
     "bench_st_match",
     "bench_fault_overhead",
+    "bench_trace_overhead",
     "bench_end_to_end",
     "run_perfbench",
     "default_output_path",
@@ -328,6 +329,101 @@ def bench_fault_overhead(sends: int = 100_000) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# Trace-hook overhead
+# ----------------------------------------------------------------------
+
+def bench_trace_overhead(sends: int = 100_000, e2e_scale: float = 0.05
+                         ) -> Dict[str, object]:
+    """Per-send cost of the trace hook: disabled (nil) vs armed paths.
+
+    The telemetry plane shares the fault plane's contract: with no tracer
+    installed, every egress pays one attribute load plus a ``None`` check.
+    Micro arms over the two-node sink network:
+
+    * **disabled** — no tracer; the nil fast path every run takes;
+    * **armed_unsampled** — tracer installed but ``sample_every`` chosen
+      so the bench packet is never sampled (hook call + modulo exit);
+    * **armed_recording** — every send recorded into a bounded ring.
+
+    The **e2e** block replays the same Fig. 4 schedule with telemetry off
+    and fully on (tracing + metric ticks), asserting the observable run
+    (deliveries, per-sample latencies, byte/packet accounting, summed
+    counters) is bit-identical either way.
+    """
+    from repro.ndn.packets import Interest
+    from repro.obs.tracer import PacketTracer
+    from repro.sim.network import Network, Node
+
+    class _Sink(Node):
+        """Discards everything; only the egress path is under test."""
+
+        def receive(self, packet, face) -> None:
+            pass
+
+    perf = time.perf_counter
+    results: Dict[str, object] = {"sends": sends}
+
+    def one_arm(make_tracer) -> float:
+        network = Network()
+        a, b = _Sink(network, "a"), _Sink(network, "b")
+        network.connect(a, b, delay=0.1)
+        packet = Interest(name=Name(["bench", "trace"]))
+        if make_tracer is not None:
+            make_tracer(packet).install(network)
+        face = a.face_toward(b)
+        # Drain in batches so heap growth doesn't pollute the send timing.
+        batch = 10_000
+        elapsed = 0.0
+        done = 0
+        while done < sends:
+            n = min(batch, sends - done)
+            start = perf()
+            for _ in range(n):
+                face.send(packet)
+            elapsed += perf() - start
+            done += n
+            network.sim.run()
+        return elapsed
+
+    disabled = one_arm(None)
+    # uid % (uid + 1) != 0 for uid >= 1: the hook runs, the modulo exits.
+    unsampled = one_arm(lambda p: PacketTracer(sample_every=p.uid + 1))
+    recording = one_arm(lambda p: PacketTracer(max_events=10_000))
+
+    results["disabled"] = _rate(disabled, sends)
+    results["armed_unsampled"] = _rate(unsampled, sends)
+    results["armed_recording"] = _rate(recording, sends)
+    results["recording_overhead_ratio"] = round(recording / disabled, 3)
+
+    from repro.experiments.tracerun import run_fig4_traced
+    from repro.obs.session import TelemetryConfig, TelemetrySession
+
+    start = perf()
+    off = run_fig4_traced(scale=e2e_scale)
+    off_s = perf() - start
+    session = TelemetrySession(TelemetryConfig(metrics_interval_ms=250.0))
+    start = perf()
+    on = run_fig4_traced(scale=e2e_scale, telemetry=session)
+    on_s = perf() - start
+    keys = (
+        "deliveries",
+        "latency_samples",
+        "network_bytes",
+        "network_packets",
+        "counters",
+    )
+    results["e2e"] = {
+        "scale": e2e_scale,
+        "off_s": round(off_s, 3),
+        "on_s": round(on_s, 3),
+        "overhead_ratio": round(on_s / off_s, 3),
+        "events_recorded": len(session.tracer.events),
+        "counters_identical": all(off[k] == on[k] for k in keys),
+    }
+    return results
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 
@@ -351,6 +447,10 @@ def run_perfbench(
         "bloom_ops": bench_bloom_ops(rounds=rounds),
         "st_match": bench_st_match(probe_rounds=8 if quick else 40),
         "fault_overhead": bench_fault_overhead(sends=20_000 if quick else 100_000),
+        "trace_overhead": bench_trace_overhead(
+            sends=20_000 if quick else 100_000,
+            e2e_scale=0.01 if quick else 0.05,
+        ),
         "end_to_end": bench_end_to_end(
             players=players if not quick else 124,
             updates=updates if not quick else 400,
@@ -367,6 +467,7 @@ def render_perfbench(report: Dict[str, object]) -> str:
     st = report["st_match"]
     e2e = report["end_to_end"]
     fault = report["fault_overhead"]
+    trace = report["trace_overhead"]
     lines = [
         "Forwarding fast-path benchmark",
         f"  name parse (warm, interned): {report['name_ops']['parse_warm']['us_per_op']} us/op",
@@ -378,6 +479,11 @@ def render_perfbench(report: Dict[str, object]) -> str:
         f"  fault hook disabled: {fault['disabled']['us_per_op']} us/send"
         f"  armed (out of scope): {fault['armed_out_of_scope']['us_per_op']} us/send"
         f"  ({fault['armed_overhead_ratio']}x)",
+        f"  trace hook disabled: {trace['disabled']['us_per_op']} us/send"
+        f"  recording: {trace['armed_recording']['us_per_op']} us/send"
+        f"  ({trace['recording_overhead_ratio']}x); e2e telemetry on/off"
+        f" {trace['e2e']['overhead_ratio']}x, counters identical:"
+        f" {trace['e2e']['counters_identical']}",
         f"  end-to-end ({e2e['players']} players, {e2e['updates']} updates):"
         f" cached {e2e['cached_s']}s vs bypass {e2e['bypass_s']}s"
         f" ({e2e['speedup']}x), counters identical: {e2e['counters_identical']}",

@@ -84,6 +84,8 @@ def _value_at_fraction(
 
 
 def _fmt(cell: object) -> str:
+    if cell is None:
+        return "—"
     if isinstance(cell, float):
         if cell >= 1000:
             return f"{cell:,.1f}"

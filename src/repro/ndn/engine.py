@@ -89,10 +89,16 @@ class NdnRouter(Node):
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, face: Face) -> None:
         self.stats.packets_received += 1
+        tracer = self.trace_hook
+        if tracer is not None:
+            tracer.on_enqueue(self, packet)
         self.queue.submit((packet, face), self.service_time, self._serve)
 
     def _serve(self, item: Tuple[Packet, Face]) -> None:
         packet, face = item
+        tracer = self.trace_hook
+        if tracer is not None:
+            tracer.on_service(self, packet)
         self.dispatcher.dispatch(packet, face)
 
     def _dispatch(self, packet: Packet, face: Face) -> None:

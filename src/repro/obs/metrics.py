@@ -1,0 +1,268 @@
+"""Metrics registry: named sources sampled on sim-time ticks.
+
+Three source shapes:
+
+* **gauges** — any zero-argument callable returning a number, read at
+  each tick (queue backlog, ST size, role state);
+* **counters** — monotonically incremented by the owner via
+  :meth:`Counter.inc`, sampled like a gauge;
+* **windowed histograms** — per-tick distributions: ``observe()`` between
+  ticks, and each tick rolls the window into ``.count`` / ``.mean`` /
+  ``.max`` series and resets it.
+
+Samples land in ring-buffered :class:`TimeSeries` (bounded memory, oldest
+points evicted).  Existing counter blocks auto-register:
+:meth:`MetricsRegistry.register_stats` walks any dataclass
+(``NodeStats``, ``FaultStats``) and turns every numeric field into a
+series for free; :meth:`register_node` additionally picks up the node's
+service queue and role telemetry, and :meth:`register_network` /
+:meth:`register_simulator` cover fabric-level aggregates.
+
+Ticks are **pre-scheduled over a bounded horizon**
+(:meth:`schedule_ticks`) rather than self-rearming, so a full-drain
+``sim.run()`` still terminates.  Sampling callbacks only read state —
+they never perturb protocol behavior (they do consume scheduler
+sequence numbers, which shifts nothing observable: relative event order
+is preserved).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import fields, is_dataclass
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EventHandle, Simulator
+    from repro.sim.network import Network, Node
+
+__all__ = ["TimeSeries", "Counter", "WindowedHistogram", "MetricsRegistry"]
+
+
+class TimeSeries:
+    """Ring-buffered ``(t, value)`` samples for one named metric."""
+
+    __slots__ = ("name", "_points")
+
+    def __init__(self, name: str, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self._points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def append(self, t: float, value: float) -> None:
+        self._points.append((t, value))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        return self._points[-1] if self._points else None
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, {len(self._points)} points)"
+
+
+class Counter:
+    """A registry-owned monotonic counter; sampled like a gauge."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class WindowedHistogram:
+    """Distribution over one sampling window, rolled at each tick."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    def roll(self) -> Dict[str, float]:
+        """Summarize and reset the current window."""
+        values = self._values
+        if not values:
+            return {"count": 0, "mean": 0.0, "max": 0.0}
+        summary = {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }
+        self._values = []
+        return summary
+
+
+class MetricsRegistry:
+    """Named metric sources and their ring-buffered time series."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = capacity
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._histograms: Dict[str, WindowedHistogram] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self._tick_handles: List["EventHandle"] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _claim(self, name: str) -> None:
+        if name in self._gauges or name in self._histograms:
+            raise ValueError(f"metric {name!r} already registered")
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a read-on-tick source."""
+        self._claim(name)
+        self._gauges[name] = fn
+
+    def counter(self, name: str) -> Counter:
+        """Create and register an owner-incremented counter."""
+        self._claim(name)
+        counter = Counter(name)
+        self._gauges[name] = lambda: counter.value
+        return counter
+
+    def histogram(self, name: str) -> WindowedHistogram:
+        """Create and register a per-tick windowed histogram."""
+        self._claim(name)
+        histogram = WindowedHistogram(name)
+        self._histograms[name] = histogram
+        return histogram
+
+    def register_stats(self, prefix: str, stats: object) -> int:
+        """Auto-register every numeric field of a stats dataclass.
+
+        Works for ``NodeStats``, ``FaultStats`` or any future counter
+        block; non-numeric fields (e.g. ``drops_by_link``) are skipped.
+        Returns the number of series registered.
+        """
+        if not is_dataclass(stats):
+            raise TypeError(f"expected a dataclass instance, got {type(stats).__name__}")
+        registered = 0
+        for f in fields(stats):
+            if not _is_numeric(getattr(stats, f.name)):
+                continue
+            self.gauge(f"{prefix}.{f.name}", _field_reader(stats, f.name))
+            registered += 1
+        return registered
+
+    def register_node(self, node: "Node", prefix: Optional[str] = None) -> int:
+        """One node's stats block, service queue and role telemetry."""
+        prefix = prefix if prefix is not None else f"node.{node.name}"
+        registered = self.register_stats(prefix, node.stats)
+        queue = getattr(node, "queue", None)
+        if queue is not None and hasattr(queue, "snapshot"):
+            for key in queue.snapshot():
+                self.gauge(f"{prefix}.queue.{key}", _snapshot_reader(queue, key))
+                registered += 1
+        for role_name, role in sorted(node.roles.items()):
+            for key in role.telemetry():
+                self.gauge(
+                    f"{prefix}.{role_name}.{key}", _telemetry_reader(role, key)
+                )
+                registered += 1
+        return registered
+
+    def register_network(self, network: "Network", per_node: bool = True) -> int:
+        """Fabric aggregates, plus (optionally) every node's block."""
+        self.gauge("net.total_bytes", lambda: network.total_bytes)
+        self.gauge("net.total_packets", lambda: network.total_packets)
+        registered = 2
+        if per_node:
+            for name in sorted(network.nodes):
+                registered += self.register_node(network.nodes[name])
+        return registered
+
+    def register_simulator(self, sim: "Simulator") -> int:
+        for key in sim.telemetry():
+            self.gauge(f"sim.{key}", _sim_reader(sim, key))
+        return len(sim.telemetry())
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _series(self, name: str) -> TimeSeries:
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = TimeSeries(name, self.capacity)
+        return series
+
+    def sample(self, now: float) -> None:
+        """Take one sample of every source at sim time ``now``."""
+        for name, fn in self._gauges.items():
+            self._series(name).append(now, fn())
+        for name, histogram in self._histograms.items():
+            for stat, value in histogram.roll().items():
+                self._series(f"{name}.{stat}").append(now, value)
+
+    def schedule_ticks(
+        self, sim: "Simulator", interval_ms: float, until: float
+    ) -> int:
+        """Pre-schedule sampling ticks every ``interval_ms`` up to ``until``.
+
+        Bounded scheduling (not self-rearming) so full-drain ``sim.run()``
+        calls still terminate.  Returns the number of ticks scheduled.
+        """
+        if interval_ms <= 0:
+            raise ValueError(f"interval_ms must be positive, got {interval_ms}")
+        count = 0
+        t = sim.now + interval_ms
+        while t <= until:
+            self._tick_handles.append(sim.schedule_at(t, self._tick, sim))
+            t += interval_ms
+            count += 1
+        return count
+
+    def _tick(self, sim: "Simulator") -> None:
+        self.sample(sim.now)
+
+    def cancel_ticks(self) -> None:
+        for handle in self._tick_handles:
+            handle.cancel()
+        self._tick_handles.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(set(self._gauges) | set(self.series))
+
+    def as_dict(self) -> Dict[str, List[Tuple[float, float]]]:
+        """All series as plain ``{name: [(t, value), ...]}``."""
+        return {name: self.series[name].points() for name in sorted(self.series)}
+
+
+def _is_numeric(value: object) -> bool:
+    return type(value) in (int, float)
+
+
+# Bound readers as module helpers (not lambdas in loops) so each closure
+# captures its own (obj, name) pair.
+def _field_reader(stats: object, name: str) -> Callable[[], float]:
+    return lambda: getattr(stats, name)
+
+
+def _snapshot_reader(queue, key: str) -> Callable[[], float]:
+    return lambda: queue.snapshot()[key]
+
+
+def _telemetry_reader(role, key: str) -> Callable[[], float]:
+    return lambda: role.telemetry()[key]
+
+
+def _sim_reader(sim, key: str) -> Callable[[], float]:
+    return lambda: sim.telemetry()[key]

@@ -1,0 +1,112 @@
+"""One-call telemetry bundle: tracer + metrics + exporters on a network.
+
+Experiment harnesses that want observability shouldn't re-wire the three
+parts by hand; a :class:`TelemetrySession` owns a
+:class:`~repro.obs.tracer.PacketTracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`, installs both onto a
+network (optionally scheduling metric ticks over a bounded horizon), and
+exports everything to a directory in all three formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.obs.exporters import (
+    write_chrome_trace,
+    write_events_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import PacketTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import FaultStats
+    from repro.sim.network import Network
+
+__all__ = ["TelemetryConfig", "TelemetrySession"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs for one telemetry session."""
+
+    #: Trace packets whose trace id is divisible by this (1 = all).
+    sample_every: int = 1
+    #: Ring-buffer bound on recorded trace events (None = unbounded).
+    max_events: Optional[int] = None
+    #: Metric sampling period in sim ms.
+    metrics_interval_ms: float = 100.0
+    #: Ring-buffer capacity per metric series.
+    series_capacity: int = 4096
+    #: Register every node's counter block (False: fabric aggregates only).
+    per_node_metrics: bool = True
+
+
+class TelemetrySession:
+    """Owns one tracer + one registry wired onto one network."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.tracer = PacketTracer(
+            sample_every=self.config.sample_every,
+            max_events=self.config.max_events,
+        )
+        self.metrics = MetricsRegistry(capacity=self.config.series_capacity)
+        self._network: Optional["Network"] = None
+
+    def install(
+        self,
+        network: "Network",
+        fault_stats: Optional["FaultStats"] = None,
+        metrics_until: Optional[float] = None,
+    ) -> "TelemetrySession":
+        """Hook the tracer, register metric sources, schedule ticks.
+
+        ``metrics_until`` bounds the pre-scheduled sampling ticks; omit
+        it (or call :meth:`schedule_metrics` later) when the horizon is
+        not yet known at install time.
+        """
+        self._network = network
+        self.tracer.install(network, fault_stats=fault_stats)
+        self.metrics.register_simulator(network.sim)
+        self.metrics.register_network(
+            network, per_node=self.config.per_node_metrics
+        )
+        if fault_stats is not None:
+            self.metrics.register_stats("faults", fault_stats)
+        if metrics_until is not None:
+            self.schedule_metrics(metrics_until)
+        return self
+
+    def schedule_metrics(self, until: float) -> int:
+        if self._network is None:
+            raise RuntimeError("install() the session before scheduling ticks")
+        return self.metrics.schedule_ticks(
+            self._network.sim, self.config.metrics_interval_ms, until
+        )
+
+    def finish(self) -> None:
+        """Final metrics sample + release every hook slot."""
+        if self._network is not None:
+            self.metrics.sample(self._network.sim.now)
+        self.metrics.cancel_ticks()
+        self.tracer.uninstall()
+
+    def export(self, out_dir: "Path | str", stem: str = "trace") -> Dict[str, str]:
+        """Write events.jsonl + chrome.json + metrics.prom; return paths."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        events_path = out_dir / f"{stem}.events.jsonl"
+        chrome_path = out_dir / f"{stem}.chrome.json"
+        prom_path = out_dir / f"{stem}.metrics.prom"
+        write_events_jsonl(events_path, self.tracer.events)
+        write_chrome_trace(chrome_path, self.tracer.events)
+        write_prometheus(prom_path, self.metrics)
+        return {
+            "events": str(events_path),
+            "chrome": str(chrome_path),
+            "prometheus": str(prom_path),
+        }

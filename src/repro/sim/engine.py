@@ -158,6 +158,14 @@ class Simulator:
         """Number of events still queued (including lazily cancelled ones)."""
         return len(self._heap)
 
+    def telemetry(self) -> dict:
+        """Engine-level gauges for the metrics registry."""
+        return {
+            "now_ms": self.now,
+            "events_processed": self.events_processed,
+            "events_pending": len(self._heap),
+        }
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when idle."""
         while self._heap and self._heap[0][2].cancelled:

@@ -178,13 +178,19 @@ class FaultStats:
     extra_delay_ms: float = 0.0
     crashes: int = 0
     restarts: int = 0
-    #: ``(link name, reason)`` -> count; reasons are "random", "burst",
-    #: "down" and "node_down".
-    drops_by_link: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: ``((src node, dst node), reason)`` -> count; reasons are "random",
+    #: "burst", "down" and "node_down".  The key is directional — a link's
+    #: two directions count separately, which the hop-chain tracer needs
+    #: to attribute a loss to the sender side.
+    drops_by_link: Dict[Tuple[Tuple[str, str], str], int] = field(default_factory=dict)
+    #: Reason of the most recent drop, read synchronously by the packet
+    #: tracer's egress hook (not serialised; transient observability state).
+    last_drop_reason: str = field(default="", repr=False, compare=False)
 
-    def count_drop(self, link_name: str, reason: str) -> None:
+    def count_drop(self, src: str, dst: str, reason: str) -> None:
         self.dropped += 1
-        key = (link_name, reason)
+        self.last_drop_reason = reason
+        key = ((src, dst), reason)
         self.drops_by_link[key] = self.drops_by_link.get(key, 0) + 1
 
     def as_dict(self) -> dict:
@@ -196,8 +202,8 @@ class FaultStats:
             "crashes": self.crashes,
             "restarts": self.restarts,
             "drops_by_link": {
-                f"{link}:{reason}": n
-                for (link, reason), n in sorted(self.drops_by_link.items())
+                f"{src}->{dst}:{reason}": n
+                for ((src, dst), reason), n in sorted(self.drops_by_link.items())
             },
         }
 
@@ -283,7 +289,7 @@ class FaultInjector:
                 if down_nodes and (
                     face.node.name in down_nodes or face.peer.name in down_nodes
                 ):
-                    stats.count_drop(link_name, "node_down")
+                    stats.count_drop(face.node.name, face.peer.name, "node_down")
                     return None
                 return 0.0
 
@@ -305,12 +311,12 @@ class FaultInjector:
             if down_nodes and (
                 face.node.name in down_nodes or face.peer.name in down_nodes
             ):
-                stats.count_drop(link_name, "node_down")
+                stats.count_drop(face.node.name, face.peer.name, "node_down")
                 return None
             now = sim.now
             for start, end in down:
                 if start <= now < end:
-                    stats.count_drop(link_name, "down")
+                    stats.count_drop(face.node.name, face.peer.name, "down")
                     return None
             if scope != "all" and packet.is_control != (scope == "control"):
                 return 0.0
@@ -323,10 +329,10 @@ class FaultInjector:
                         in_bad[0] = True
                 p_loss = burst.loss_bad if in_bad[0] else burst.loss_good
                 if p_loss > 0.0 and rng.random() < p_loss:
-                    stats.count_drop(link_name, "burst")
+                    stats.count_drop(face.node.name, face.peer.name, "burst")
                     return None
             if loss > 0.0 and rng.random() < loss:
-                stats.count_drop(link_name, "random")
+                stats.count_drop(face.node.name, face.peer.name, "random")
                 return None
             if jitter > 0.0:
                 extra = rng.random() * jitter

@@ -157,6 +157,11 @@ class Face:
         packet never accrues byte/packet counters — it left no trace on
         the wire) or delayed by extra jitter.  With no plan installed the
         cost is one attribute load and a ``None`` check.
+
+        ``link.trace_hook`` is the telemetry twin of the same slot
+        pattern: a :class:`~repro.obs.tracer.PacketTracer` observes every
+        forward (and every fault drop, with its reason) here.  Disabled
+        tracing likewise costs one attribute load plus a ``None`` check.
         """
         link = self.link
         delay = link.delay
@@ -164,10 +169,16 @@ class Face:
         if hook is not None:
             extra = hook(self, packet)
             if extra is None:  # dropped at egress
+                tracer = link.trace_hook
+                if tracer is not None:
+                    tracer.on_fault_drop(self, packet)
                 return
             delay += extra
         link.bytes_carried += packet.size
         link.packets_carried += 1
+        tracer = link.trace_hook
+        if tracer is not None:
+            tracer.on_forward(self, packet, delay)
         peer = self._peer
         peer_face = self._peer_face
         if peer is None or peer_face is None:  # face not wired via Link()
@@ -196,6 +207,7 @@ class Link:
         "packets_carried",
         "name",
         "fault_hook",
+        "trace_hook",
     )
 
     def __init__(self, sim: Simulator, a: "Node", b: "Node", delay: float, name: str = "") -> None:
@@ -217,6 +229,9 @@ class Link:
         # ``hook(face, packet) -> None`` drops, ``-> float`` adds jitter.
         # None (the default) is the nil fast path.
         self.fault_hook: Optional[Callable[[Face, Packet], Optional[float]]] = None
+        # Egress observer installed by a PacketTracer (repro.obs): read-only,
+        # same nil-fast-path contract as the fault hook.
+        self.trace_hook = None
 
     def peer_of(self, node: "Node") -> "Node":
         """The other endpoint of this link."""
@@ -270,6 +285,9 @@ class Node:
         self._next_face_id = 0
         self.stats = NodeStats()
         self.roles: Dict[str, "Role"] = {}
+        # Dispatch-side observer installed by a PacketTracer (repro.obs):
+        # engines report enqueue/service/delivery when this is set.
+        self.trace_hook = None
         network._register(self)
 
     # ------------------------------------------------------------------

@@ -69,6 +69,22 @@ class ServiceQueue:
         """Total busy time accumulated so far."""
         return self.total_service_time
 
+    def snapshot(self) -> dict:
+        """Instantaneous + cumulative gauges for the metrics registry.
+
+        The time-series view of exactly the state the RP balancer polls:
+        sampled on sim ticks, ``backlog`` draws the Fig. 5 "traffic
+        concentration" buildup as it happens instead of post-hoc.
+        """
+        return {
+            "backlog": self.backlog,
+            "queue_length": len(self._waiting),
+            "served": self.served,
+            "peak_queue_length": self.peak_queue_length,
+            "mean_wait_ms": self.mean_wait,
+            "busy_ms": self.total_service_time,
+        }
+
     # ------------------------------------------------------------------
     # Operation
     # ------------------------------------------------------------------

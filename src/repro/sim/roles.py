@@ -51,6 +51,14 @@ class Role:
         """Called by ``Node.detach_role``; override to remove wiring."""
         self.node = None
 
+    def telemetry(self) -> dict:
+        """Role-level gauges for the metrics registry (override freely).
+
+        Keys are metric-name suffixes, values numbers; the registry
+        samples them on sim ticks.  The base role exposes nothing.
+        """
+        return {}
+
     def __repr__(self) -> str:
         where = self.node.name if self.node is not None else "unattached"
         return f"{type(self).__name__}({where})"

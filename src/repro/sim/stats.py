@@ -256,9 +256,25 @@ class LoadMeter:
 
 
 def summarize(recorder: LatencyRecorder) -> dict:
-    """One-line dict summary used by the experiment reporters."""
+    """One-line dict summary used by the experiment reporters.
+
+    Always the full schema: an empty recorder reports ``None`` for every
+    statistic (rendered as "—" by the table formatter) instead of a
+    truncated dict, so rows from empty and non-empty recorders keep the
+    same columns in ``render_table``.
+    """
     if recorder.count == 0:
-        return {"name": recorder.name, "count": 0}
+        return {
+            "name": recorder.name,
+            "count": 0,
+            "mean": None,
+            "min": None,
+            "max": None,
+            "p50": None,
+            "p95": None,
+            "p99": None,
+            "ci95": None,
+        }
     return {
         "name": recorder.name,
         "count": recorder.count,

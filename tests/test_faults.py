@@ -128,7 +128,7 @@ class TestBernoulli:
         got = blast(net, a, b, 2000)
         lost = 2000 - len(got)
         assert injector.stats.dropped == lost
-        assert injector.stats.drops_by_link[("a<->b", "random")] == lost
+        assert injector.stats.drops_by_link[(("a", "b"), "random")] == lost
         assert 0.25 < lost / 2000 < 0.35
         assert link.packets_carried == len(got)
 
@@ -209,7 +209,7 @@ class TestDownWindowsAndJitter:
         got = blast(net, a, b, 30, make_packet=lambda i: Packet(size=1), spacing=1.0)
         # sends at t=0..29; t in [10, 20) are dropped regardless of scope
         assert len(got) == 20
-        assert injector.stats.drops_by_link[("a<->b", "down")] == 10
+        assert injector.stats.drops_by_link[(("a", "b"), "down")] == 10
 
     def test_jitter_delays_within_bound(self):
         net, a, b, _ = make_pair(delay=2.0)
@@ -270,7 +270,7 @@ class TestNodeCrash:
         assert all(t >= 20.0 for t, _ in b.inbox)
         assert injector.stats.crashes == 1
         assert injector.stats.restarts == 1
-        assert injector.stats.drops_by_link[("a<->b", "node_down")] == 10
+        assert injector.stats.drops_by_link[(("a", "b"), "node_down")] == 10
         assert b.resets == 2  # once going down, once coming back up
 
     def test_crashed_node_cannot_send_either(self):

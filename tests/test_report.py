@@ -1,6 +1,11 @@
 """Tests for the ASCII reporting helpers."""
 
-from repro.experiments.report import render_cdf, render_series, render_table
+from repro.experiments.report import (
+    _value_at_fraction,
+    render_cdf,
+    render_series,
+    render_table,
+)
 
 
 class TestRenderTable:
@@ -56,3 +61,36 @@ class TestRenderCdf:
         curves = {"A": [(5.0, 0.9)]}
         out = render_cdf("CDF", curves, quantiles=(1.0,))
         assert "5.00" in out
+
+    def test_none_cells_render_as_dash(self):
+        out = render_table("T", ("a", "b"), [(None, 1.0)])
+        assert "—" in out
+
+
+class TestValueAtFraction:
+    """Percentile-boundary behavior of the CDF lookup."""
+
+    POINTS = [(1.0, 0.25), (2.0, 0.50), (3.0, 0.75), (4.0, 1.00)]
+
+    def test_empty_points_is_none(self):
+        assert _value_at_fraction([], 0.5) is None
+
+    def test_fraction_zero_picks_first_point(self):
+        assert _value_at_fraction(self.POINTS, 0.0) == 1.0
+
+    def test_exact_fraction_boundary_inclusive(self):
+        # frac >= fraction: an exact match returns that point, not the next.
+        assert _value_at_fraction(self.POINTS, 0.50) == 2.0
+
+    def test_between_points_rounds_up(self):
+        assert _value_at_fraction(self.POINTS, 0.51) == 3.0
+
+    def test_fraction_one_picks_last_point(self):
+        assert _value_at_fraction(self.POINTS, 1.0) == 4.0
+
+    def test_beyond_max_clamps_to_last(self):
+        truncated = [(5.0, 0.9)]
+        assert _value_at_fraction(truncated, 1.0) == 5.0
+
+    def test_single_point(self):
+        assert _value_at_fraction([(7.0, 1.0)], 0.5) == 7.0

@@ -79,7 +79,19 @@ class TestLatencyRecorder:
         assert set(info) >= {"mean", "min", "max", "p50", "p95", "p99", "ci95"}
 
     def test_summarize_empty(self):
-        assert summarize(LatencyRecorder("x")) == {"name": "x", "count": 0}
+        # Full schema even when empty: None statistics keep table columns
+        # aligned with non-empty rows (rendered as "—" by report._fmt).
+        assert summarize(LatencyRecorder("x")) == {
+            "name": "x",
+            "count": 0,
+            "mean": None,
+            "min": None,
+            "max": None,
+            "p50": None,
+            "p95": None,
+            "p99": None,
+            "ci95": None,
+        }
 
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
     def test_percentiles_bounded_by_extremes(self, samples):
@@ -126,6 +138,23 @@ class TestSeriesRecorder:
         starts = [row[0] for row in series.envelope()]
         assert starts == sorted(starts)
 
+    def test_empty_envelope(self):
+        assert SeriesRecorder().envelope() == []
+        assert SeriesRecorder().count == 0
+
+    def test_boundary_sequence_starts_new_bucket(self):
+        # Sequence == bucket_width belongs to the second bucket, not the
+        # first: buckets are [0, w), [w, 2w), ...
+        series = SeriesRecorder(bucket_width=10)
+        series.record(9, 1.0)
+        series.record(10, 2.0)
+        assert [row[0] for row in series.envelope()] == [0, 10]
+
+    def test_single_sample_bucket_collapses_min_mean_max(self):
+        series = SeriesRecorder(bucket_width=10)
+        series.record(4, 2.5)
+        assert series.envelope() == [(0, 2.5, 2.5, 2.5)]
+
 
 class TestLoadMeter:
     def test_accumulation_and_gb(self):
@@ -138,3 +167,23 @@ class TestLoadMeter:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             LoadMeter().add(-1)
+        with pytest.raises(ValueError):
+            LoadMeter().add(1, packets=-1)
+
+    def test_zero_contributions_allowed(self):
+        meter = LoadMeter()
+        meter.add(0, packets=0)
+        assert meter.bytes == 0
+        assert meter.packets == 0
+        assert meter.gigabytes == 0.0
+
+    def test_multi_packet_contribution(self):
+        meter = LoadMeter()
+        meter.add(3_000, packets=3)
+        assert (meter.bytes, meter.packets) == (3_000, 3)
+
+    def test_repr_reports_gb(self):
+        meter = LoadMeter("wire")
+        meter.add(2_500_000_000)
+        assert "wire" in repr(meter)
+        assert "2.500 GB" in repr(meter)
