@@ -76,10 +76,12 @@ class RpRole(Role):
 
     def telemetry(self) -> dict:
         """Served-prefix count and decap-window fill, as sampled gauges."""
-        return {
-            "prefixes": len(self.prefixes),
-            "recent_decaps": len(self.recent_cds),
-        }
+        gauges = super().telemetry()
+        gauges.update(
+            prefixes=len(self.prefixes),
+            recent_decaps=len(self.recent_cds),
+        )
+        return gauges
 
 
 class RelayRole(Role):
@@ -94,7 +96,9 @@ class RelayRole(Role):
         self.relinquished: Dict[Name, str] = {}
 
     def telemetry(self) -> dict:
-        return {"relinquished": len(self.relinquished)}
+        gauges = super().telemetry()
+        gauges["relinquished"] = len(self.relinquished)
+        return gauges
 
     def relay_target(self, cd: Name) -> Optional[str]:
         """Longest relinquished prefix covering ``cd``, via dict probes."""

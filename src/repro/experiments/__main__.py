@@ -113,6 +113,51 @@ def _cmd_perfbench(args: argparse.Namespace) -> None:
     print(render_perfbench(report))
 
 
+def _cmd_scale(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.parallel.scale import ScaleSpec, bench_scale, quick_spec
+
+    spec = ScaleSpec(
+        players=args.players,
+        regions=args.regions,
+        access_per_region=args.access_per_region,
+        updates=args.updates,
+        seed=args.seed,
+        world_fraction=args.world_fraction,
+    )
+    if args.quick:
+        spec = quick_spec(spec)
+    worker_counts = tuple(int(x) for x in args.workers.split(","))
+    report = bench_scale(spec, worker_counts=worker_counts)
+    out = Path(args.out) if args.out else Path("BENCH_scale.json")
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    rows = [
+        (
+            a["mode"],
+            a["workers"],
+            a["wall_s"],
+            a["speedup"],
+            a["deliveries"],
+            "OK" if a["digest_match"] else "MISMATCH",
+        )
+        for a in report["arms"]
+    ]
+    print(
+        render_table(
+            f"Scale: {report['spec']['players']} players, "
+            f"{report['spec']['updates']} updates (digest-gated)",
+            ("mode", "workers", "wall s", "speedup", "deliveries", "digest"),
+            rows,
+        )
+    )
+    print(f"serial digest {report['serial_digest'][:16]}…  -> {out}")
+    if not report["equivalent"]:
+        print(f"DIGEST MISMATCH in arms: {report['mismatched_arms']}")
+        raise SystemExit(1)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> None:
     import json
     from pathlib import Path
@@ -221,6 +266,7 @@ _DISPATCH = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "perfbench": _cmd_perfbench,
+    "scale": _cmd_scale,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "all": _cmd_all,
@@ -264,6 +310,23 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="output path (default: BENCH_fastpath.json at repo root)")
     p.add_argument("--quick", action="store_true",
                    help="shrunken loop counts for smoke tests")
+
+    p = sub.add_parser(
+        "scale", help="sharded-executor speedup sweep (BENCH_scale.json)"
+    )
+    p.add_argument("--workers", type=str, default="1,2,4",
+                   help="comma-separated worker counts; serial baseline always runs")
+    p.add_argument("--players", type=int, default=10_000)
+    p.add_argument("--regions", type=int, default=4)
+    p.add_argument("--access-per-region", type=int, default=8)
+    p.add_argument("--updates", type=int, default=500)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--world-fraction", type=float, default=0.02,
+                   help="fraction of publishes on the world-visible CD")
+    p.add_argument("--out", type=str, default="",
+                   help="output path (default: BENCH_scale.json at repo root)")
+    p.add_argument("--quick", action="store_true",
+                   help="shrink to <=200 players / <=200 updates for smoke tests")
 
     p = sub.add_parser(
         "chaos", help="fault-injection delivery-invariant check (lossless handover)"

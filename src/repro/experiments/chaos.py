@@ -258,6 +258,7 @@ def run_chaos(
     timeline: Optional[ChaosTimeline] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
     telemetry: Optional[TelemetrySession] = None,
+    executor_factory=None,
 ) -> ChaosReport:
     """Run the fig-4 workload under ``plan_name`` and check delivery.
 
@@ -270,6 +271,12 @@ def run_chaos(
     hop chain of the first missed deliveries (drop reason included) and
     a drop-reason summary — everything else, digest included, is
     bit-identical to an untraced run.
+
+    ``executor_factory`` plugs in the sharded execution backend; the
+    report digest must come out identical to the serial default.  Note
+    the forced split keeps ``spawn_on_split=False``: the sharded
+    executor fixes the topology at construction, so mid-run node
+    spawning is (deliberately) unsupported under sharding.
     """
     timeline = timeline if timeline is not None else ChaosTimeline()
     game_map = GameMap(seed=seed)
@@ -294,6 +301,14 @@ def run_chaos(
     rp_table = RpTable()
     rp_table.assign(ROOT, "R1")
     GCopssNetworkBuilder(network, rp_table).install()
+    from repro.sim.engine import SerialExecutor
+
+    # The executor must exist before anything schedules (recovery sweeps,
+    # refresh timers, the fault plan): sharding rebinds every node onto
+    # its shard clock, and later scheduling follows the rebinding.
+    executor = (
+        executor_factory(network) if executor_factory else SerialExecutor(network)
+    )
 
     refresh = timeline.refresh_interval_ms
     recovery = RecoveryConfig.full(
@@ -317,7 +332,7 @@ def run_chaos(
         host.subscribe(hierarchy.subscriptions_for(placement[player]))
         host.start_refresh(refresh)
 
-    network.sim.run(until=timeline.subscribe_ms)  # converge fault-free
+    executor.run(until=timeline.subscribe_ms)  # converge fault-free
     network.reset_counters()
 
     # Arm the faults for the workload phase.
@@ -325,7 +340,7 @@ def run_chaos(
     injector = FaultInjector(network, plan).install()
     if telemetry is not None:
         # After the injector: fault drops then carry the injector's reason.
-        telemetry.install(network, fault_stats=injector.stats)
+        telemetry.install(network, fault_stats=injector.stats, executor=executor)
 
     # Forced mid-trace split R1 -> R4 through the regular balancer path.
     splits: List[Tuple[str, Tuple[Name, ...]]] = []
@@ -339,7 +354,7 @@ def run_chaos(
         spawn_on_split=False,
         on_split=lambda new_rp, moved: splits.append((new_rp, moved)),
     )
-    network.sim.schedule_at(timeline.split_at_ms, balancer.split)
+    executor.schedule_external("R1", timeline.split_at_ms, balancer.split)
 
     # Delivery bookkeeping: who should see event i, who did.
     subscribers = subscribers_by_leaf_cd(game_map, placement)
@@ -354,7 +369,7 @@ def run_chaos(
     for host in hosts.values():
         host.on_update.append(on_update)
 
-    offset = network.sim.now
+    offset = executor.now
     uid_by_seq: Dict[int, int] = {}
 
     def publish(i: int, event) -> None:
@@ -363,12 +378,12 @@ def run_chaos(
             uid_by_seq[i] = packet.uid
 
     for i, event in enumerate(events):
-        network.sim.schedule_at(offset + event.time_ms, publish, i, event)
+        executor.schedule_external(event.player, offset + event.time_ms, publish, i, event)
 
     horizon = offset + (events[-1].time_ms if events else 0.0) + timeline.drain_ms
     if telemetry is not None:
         telemetry.schedule_metrics(horizon)
-    network.sim.run(until=horizon)
+    executor.run(until=horizon)
 
     check_after = _check_after(plan_name, timeline)
     expected = 0

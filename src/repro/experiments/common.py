@@ -168,9 +168,19 @@ def _schedule_publishes(
     network: Network,
     events: Sequence[UpdateEvent],
     publish: Callable[[int, UpdateEvent], None],
+    executor=None,
 ) -> None:
     # Event times are trace-relative; the clock has already advanced
     # through the subscription-convergence phase, so offset by "now".
+    # With an executor (serial/sharded seam) each publish is injected at
+    # the publishing player's node, so it lands on the owning shard.
+    if executor is not None:
+        offset = executor.now
+        for i, event in enumerate(events):
+            executor.schedule_external(
+                event.player, offset + event.time_ms, publish, i, event
+            )
+        return
     offset = network.sim.now
     for i, event in enumerate(events):
         network.sim.schedule_at(offset + event.time_ms, publish, i, event)
@@ -474,8 +484,16 @@ def run_gcopss_testbed(
     placement: Dict[str, Name],
     calibration: Calibration = DEFAULT_CALIBRATION,
     label: str = "G-COPSS (testbed)",
+    executor_factory: Optional[Callable[[Network], object]] = None,
 ) -> ScenarioResult:
-    """G-COPSS microbenchmark: 62 players, RP at R1."""
+    """G-COPSS microbenchmark: 62 players, RP at R1.
+
+    ``executor_factory`` plugs in an execution backend (built from the
+    installed network, before any event is scheduled); default is the
+    single-heap :class:`~repro.sim.engine.SerialExecutor`.  The
+    differential tests run this scenario under both backends and demand
+    identical results.
+    """
     hierarchy = game_map.hierarchy
     topo = build_benchmark_topology(
         router_factory=lambda net, name: GCopssRouter(
@@ -493,11 +511,16 @@ def run_gcopss_testbed(
     rp_table = RpTable()
     rp_table.assign(ROOT, "R1")
     GCopssNetworkBuilder(network, rp_table).install()
+    from repro.sim.engine import SerialExecutor
+
+    executor = (
+        executor_factory(network) if executor_factory else SerialExecutor(network)
+    )
 
     hosts: Dict[str, GCopssHost] = {h.name: h for h in topo.hosts}  # type: ignore[misc]
     for player, host in hosts.items():
         host.subscribe(hierarchy.subscriptions_for(placement[player]))
-    network.sim.run()
+    executor.run()
     network.reset_counters()
 
     latency = LatencyRecorder("gcopss-testbed")
@@ -519,8 +542,8 @@ def run_gcopss_testbed(
         host.published += 1
         host.send(host.access_face, packet)
 
-    _schedule_publishes(network, events, publish)
-    network.sim.run()
+    _schedule_publishes(network, events, publish, executor)
+    executor.run()
     return ScenarioResult(
         label=label,
         latency=latency,
@@ -528,6 +551,7 @@ def run_gcopss_testbed(
         network_bytes=network.total_bytes,
         updates_published=len(events),
         deliveries=latency.count,
+        extras={"executor": executor.telemetry()},
     )
 
 

@@ -44,11 +44,14 @@ def run_fig4_traced(
     scale: float = 0.05,
     seed: int = 7,
     telemetry: Optional[TelemetrySession] = None,
+    executor_factory=None,
 ) -> Dict[str, object]:
     """The Fig. 4 G-COPSS testbed run, optionally under telemetry.
 
     Returns the observable outcome (deliveries, bytes, summed counters)
     so callers can assert traced and untraced runs are bit-identical.
+    ``executor_factory`` plugs in the sharded execution backend; the
+    differential suite compares its outcome against the serial default.
     """
     from repro.core.engine import GCopssHost, GCopssNetworkBuilder, GCopssRouter
     from repro.core.rp import RpTable
@@ -84,17 +87,22 @@ def run_fig4_traced(
     rp_table = RpTable()
     rp_table.assign(ROOT, "R1")
     GCopssNetworkBuilder(network, rp_table).install()
+    from repro.sim.engine import SerialExecutor
+
+    executor = (
+        executor_factory(network) if executor_factory else SerialExecutor(network)
+    )
 
     hosts: Dict[str, GCopssHost] = {h.name: h for h in topo.hosts}  # type: ignore[misc]
     for player, host in hosts.items():
         host.subscribe(hierarchy.subscriptions_for(placement[player]))
-    network.sim.run()  # converge subscriptions untraced
+    executor.run()  # converge subscriptions untraced
     network.reset_counters()
 
-    offset = network.sim.now
+    offset = executor.now
     horizon = offset + (events[-1].time_ms if events else 0.0) + FIG4_DRAIN_MS
     if telemetry is not None:
-        telemetry.install(network, metrics_until=horizon)
+        telemetry.install(network, metrics_until=horizon, executor=executor)
 
     latency = LatencyRecorder("fig4-traced")
 
@@ -111,8 +119,8 @@ def run_fig4_traced(
         uid_by_seq[i] = packet.uid
 
     for i, event in enumerate(events):
-        network.sim.schedule_at(offset + event.time_ms, publish, i, event)
-    network.sim.run(until=horizon)
+        executor.schedule_external(event.player, offset + event.time_ms, publish, i, event)
+    executor.run(until=horizon)
 
     counters: Dict[str, int] = {}
     for node in network.nodes.values():

@@ -56,20 +56,26 @@ class TelemetrySession:
         )
         self.metrics = MetricsRegistry(capacity=self.config.series_capacity)
         self._network: Optional["Network"] = None
+        self._executor = None
 
     def install(
         self,
         network: "Network",
         fault_stats: Optional["FaultStats"] = None,
         metrics_until: Optional[float] = None,
+        executor=None,
     ) -> "TelemetrySession":
         """Hook the tracer, register metric sources, schedule ticks.
 
         ``metrics_until`` bounds the pre-scheduled sampling ticks; omit
         it (or call :meth:`schedule_metrics` later) when the horizon is
-        not yet known at install time.
+        not yet known at install time.  With an ``executor`` (the
+        serial/sharded seam), metric ticks route through
+        ``executor.attach_metrics`` — under sharding they are sampled at
+        window barriers rather than as scheduled events.
         """
         self._network = network
+        self._executor = executor
         self.tracer.install(network, fault_stats=fault_stats)
         self.metrics.register_simulator(network.sim)
         self.metrics.register_network(
@@ -82,8 +88,20 @@ class TelemetrySession:
         return self
 
     def schedule_metrics(self, until: float) -> int:
+        """Arrange periodic metric sampling up to ``until``.
+
+        Serially that means bounded tick events on the network clock;
+        when an executor was passed to :meth:`install`, sampling is
+        delegated to it (the sharded backend evaluates ticks at window
+        barriers so telemetry schedules nothing).  Returns the number of
+        ticks arranged.
+        """
         if self._network is None:
             raise RuntimeError("install() the session before scheduling ticks")
+        if self._executor is not None:
+            return self._executor.attach_metrics(
+                self.metrics, self.config.metrics_interval_ms, until
+            )
         return self.metrics.schedule_ticks(
             self._network.sim, self.config.metrics_interval_ms, until
         )

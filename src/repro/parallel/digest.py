@@ -1,0 +1,78 @@
+"""Canonical delivery digests: the currency of executor equivalence.
+
+A parallel executor is only trustworthy if it provably produces the same
+simulation as the serial one.  "The same" is defined over *observables*:
+who received which update, and with what latency.  This module gives
+that definition one canonical byte encoding so serial, in-process
+sharded and multi-process runs can be compared with a string equality.
+
+The canonical form sorts the delivery tuples: the executors preserve
+each receiver's delivery order exactly, but the *interleaving* of
+simultaneous deliveries at different nodes is an artifact of heap layout
+with no observable meaning — two runs are equivalent iff their delivery
+multisets match.  Latencies are kept at full float precision (repr), so
+a single ulp of drift anywhere fails the digest; equivalence here means
+bit-identical arithmetic, not approximate agreement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, List, Tuple
+
+__all__ = ["DeliveryLog", "delivery_digest", "canonical_digest"]
+
+Entry = Tuple[object, str, float]
+
+
+def canonical_digest(payload: object) -> str:
+    """sha256 over the canonical (sorted-keys) JSON encoding of ``payload``."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def delivery_digest(entries: Iterable[Entry]) -> str:
+    """Canonical digest of a delivery multiset.
+
+    Each entry is ``(key, receiver, latency_ms)`` — ``key`` identifies
+    the update (a sequence number, or any JSON-stable token).  Floats are
+    encoded via ``repr`` so the digest distinguishes values down to the
+    last bit.
+    """
+    canonical = sorted(
+        (str(key), receiver, repr(latency)) for key, receiver, latency in entries
+    )
+    return canonical_digest(canonical)
+
+
+class DeliveryLog:
+    """Append-only record of deliveries, digestible and mergeable.
+
+    Each worker (or the single serial run) appends in its own execution
+    order; :meth:`digest` canonicalizes, so logs from different executors
+    compare directly and per-shard logs :meth:`merge` into one without
+    caring about interleaving.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[Entry] = []
+
+    def record(self, key: object, receiver: str, latency_ms: float) -> None:
+        self.entries.append((key, receiver, latency_ms))
+
+    def merge(self, other: "DeliveryLog") -> "DeliveryLog":
+        self.entries.extend(other.entries)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def digest(self) -> str:
+        return delivery_digest(self.entries)
+
+    def latencies(self) -> List[float]:
+        return sorted(latency for _, _, latency in self.entries)

@@ -1,0 +1,358 @@
+"""In-process sharded executor: N shard-local event loops, one truth.
+
+The executor partitions an already-built :class:`~repro.sim.network.Network`
+into shards (a :class:`~repro.parallel.partition.ShardPlan`), gives each
+shard its own :class:`~repro.sim.engine.Simulator`, and advances all of
+them through conservative lookahead windows: with ``W`` the minimum
+cross-shard link delay, any event executing in ``[T, T+W)`` can influence
+another shard no earlier than ``T+W``, so each window runs with zero
+coordination and cross-shard packets are exchanged at the barriers.
+
+**Determinism argument** (why serial and sharded runs are bit-identical):
+
+1. The engine heap orders events by ``(time, origin, seq)`` where
+   ``origin`` is the rank of the node whose activity scheduled the event
+   (for packet arrivals: the *sender's* rank).  See
+   :mod:`repro.sim.engine`.
+2. Every event's callback touches exactly one node (its queue, timers,
+   roles) and that node's outgoing links — the fabric has no cross-node
+   shared state.  So an event "belongs" to a node, and scheduling only
+   ever happens node-locally (``node.sim``) or via a link egress.
+3. By induction over time: each shard executes the serial schedule
+   *restricted to its nodes*, in the same relative order — same-origin
+   ties keep their per-origin scheduling order (local seq), and
+   cross-shard arrivals are injected at barriers in ``(time, sender
+   rank, send order)`` order, which is exactly the serial heap's order
+   for those events.  Events tied at ``(time, origin)`` across different
+   shards live in different heaps and never compare — but they execute
+   at different nodes at the same timestamp, and can only influence each
+   other through links with delay ≥ W > 0, so their relative order is
+   unobservable.
+4. RNG streams (fault injection) are per link *direction*, i.e. pure
+   functions of a single sender's packet sequence; node crash/restart
+   transitions are mirrored onto every shard clock
+   (:class:`~repro.sim.faults.FaultInjector`).  No randomness or clock
+   reads cross a shard boundary outside the transit channel.
+
+The executor runs all shards in one thread (round-robin per window) —
+it proves the *algorithm*; :mod:`repro.parallel.procpool` runs the same
+windows across worker processes for actual speedup.  Both modes produce
+identical transit traffic, so the differential tests on this class cover
+the synchronization protocol for both.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.parallel.partition import ShardPlan
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.network import Network
+
+__all__ = ["ShardedExecutor"]
+
+#: (arrival_time, sender_rank, send_order, receiver_rank, callback, args)
+_TransitMsg = Tuple[float, int, int, int, Callable[..., Any], tuple]
+
+
+class _BoundaryClock:
+    """The ``link.sim`` stand-in for cross-shard links.
+
+    ``Face.send`` on a boundary link lands here: instead of entering a
+    heap, the arrival goes into the executor's transit outbox, to be
+    injected into the receiver's shard at the next window barrier.
+    ``now`` proxies the clock of whichever shard is currently executing,
+    so fault hooks and tracers on boundary links read the right time.
+    """
+
+    __slots__ = ("_executor",)
+
+    def __init__(self, executor: "ShardedExecutor") -> None:
+        self._executor = executor
+
+    @property
+    def now(self) -> float:
+        return self._executor._active_sim.now
+
+    def schedule_link(
+        self,
+        delay: float,
+        sort_origin: int,
+        exec_origin: int,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> None:
+        executor = self._executor
+        executor._outbox.append(
+            (
+                executor._active_sim.now + delay,
+                sort_origin,
+                executor._next_transit_seq(),
+                exec_origin,
+                callback,
+                args,
+            )
+        )
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        raise RuntimeError(
+            "cross-shard links carry packets only; node timers belong on "
+            "the node's own shard clock (node.sim)"
+        )
+
+    schedule_at = schedule
+
+
+class _NetworkClock:
+    """Replaces ``network.sim`` while a ShardedExecutor owns the network.
+
+    Reads aggregate honestly; any attempt to *schedule* on the network
+    clock is a wiring bug (the event would belong to no shard) and fails
+    loudly with a pointer to the executor API.
+    """
+
+    __slots__ = ("_executor",)
+
+    def __init__(self, executor: "ShardedExecutor") -> None:
+        self._executor = executor
+
+    @property
+    def now(self) -> float:
+        return self._executor.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._executor.events_processed
+
+    def pending(self) -> int:
+        return sum(sim.pending() for sim in self._executor.shard_sims)
+
+    def telemetry(self) -> dict:
+        return {
+            "now_ms": self.now,
+            "events_processed": self.events_processed,
+            "events_pending": self.pending(),
+        }
+
+    def _refuse(self, *args: Any, **kwargs: Any) -> None:
+        raise RuntimeError(
+            "network.sim is sharded; schedule through the owning node's "
+            "sim, or ShardedExecutor.schedule_external for workload events"
+        )
+
+    schedule = _refuse
+    schedule_at = _refuse
+    schedule_link = _refuse
+    run = _refuse
+
+
+class ShardedExecutor:
+    """Deterministic windowed execution of one network over N shard clocks.
+
+    Construct it on a fully *built* but not yet *started* network (no
+    pending events, no packets in flight): construction rebinds every
+    node, queue and link onto shard-local clocks, so anything scheduled
+    afterwards — subscriptions, recovery timers, fault plans, telemetry —
+    lands on the right shard automatically.  The topology must then stay
+    fixed (no nodes added mid-run).
+
+    Implements the executor seam shared with
+    :class:`~repro.sim.engine.SerialExecutor`: ``run`` /
+    ``schedule_external`` / ``now`` / ``telemetry`` / ``attach_metrics``.
+    """
+
+    def __init__(self, network: "Network", plan: ShardPlan) -> None:
+        plan.validate(network)
+        if network.sim.pending():
+            raise RuntimeError(
+                "shard the network before scheduling anything: "
+                f"{network.sim.pending()} events already pending"
+            )
+        self.network = network
+        self.plan = plan
+        self.lookahead_ms = plan.lookahead_ms(network)
+        self.shard_sims: List[Simulator] = [
+            Simulator() for _ in range(plan.num_shards)
+        ]
+        self.windows_run = 0
+        self.transit_messages = 0
+        self._outbox: List[_TransitMsg] = []
+        self._transit_seq = 0
+        self._sim_by_rank: Dict[int, Simulator] = {}
+        self._boundary = _BoundaryClock(self)
+        # Outside run(), all shard clocks agree (setup happens at window
+        # barriers); default the "executing" clock to shard 0 so boundary
+        # egress during setup still reads a consistent now.
+        self._active_sim: Simulator = self.shard_sims[0]
+        self._metrics: List[List[Any]] = []  # [registry, interval, until, next]
+        self._rebind()
+        plan.annotate_roles(network)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _rebind(self) -> None:
+        assignment = self.plan.assignment
+        for node in self.network.nodes.values():
+            sim = self.shard_sims[assignment[node.name]]
+            node.sim = sim
+            self._sim_by_rank[node.rank] = sim
+            queue = getattr(node, "queue", None)
+            if queue is not None:
+                # ServiceQueue captured the serial clock at construction.
+                queue.sim = sim
+        for link in self.network.links:
+            (a, _), (b, _) = link._ends
+            if assignment[a.name] == assignment[b.name]:
+                link.sim = self.shard_sims[assignment[a.name]]
+            else:
+                link.sim = self._boundary
+        self.network.sim = _NetworkClock(self)
+
+    def _next_transit_seq(self) -> int:
+        seq = self._transit_seq
+        self._transit_seq = seq + 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # Executor seam
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The global clock: the furthest any shard has advanced.
+
+        Outside :meth:`run` the shards agree except after a full drain
+        (each stops at its own last event); the max matches the serial
+        engine's final ``now`` in that case.
+        """
+        return max(sim.now for sim in self.shard_sims)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(sim.events_processed for sim in self.shard_sims)
+
+    def telemetry(self) -> dict:
+        """Executor-level gauges: engine totals plus window accounting."""
+        return {
+            "now_ms": self.now,
+            "events_processed": self.events_processed,
+            "events_pending": sum(sim.pending() for sim in self.shard_sims),
+            "shards": self.plan.num_shards,
+            "lookahead_ms": self.lookahead_ms,
+            "windows_run": self.windows_run,
+            "transit_messages": self.transit_messages,
+        }
+
+    def schedule_external(
+        self, node: str, time: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Inject a workload event at ``node``'s shard, EXTERNAL-origin.
+
+        The callback must touch only ``node`` (and its outgoing links) —
+        the same contract the serial harness code already obeys.  Events
+        injected at the same (time, shard) execute in call order, which
+        is the serial engine's tie order for external events.
+        """
+        sim = self.shard_sims[self.plan.assignment[node]]
+        sim.schedule_at(time, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Window loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance every shard to ``until`` (or drain all heaps if None)."""
+        lookahead = self.lookahead_ms
+        while True:
+            next_time = self._peek()
+            if next_time is None:
+                if until is not None:
+                    self._advance_idle(until)
+                return
+            if until is not None and next_time > until:
+                self._advance_idle(until)
+                return
+            if lookahead == float("inf"):
+                # No boundary links: the shards are fully independent, so
+                # one unsynchronized pass suffices (and `next_time + W`
+                # would push the clocks to infinity).
+                horizon: Optional[float] = until
+                inclusive = True
+            elif until is not None and next_time + lookahead > until:
+                # Final (partial) window: the horizon itself is inclusive,
+                # matching the serial engine's `until` semantics.
+                horizon, inclusive = until, True
+            else:
+                horizon, inclusive = next_time + lookahead, False
+            for sim in self.shard_sims:
+                self._active_sim = sim
+                sim.run(until=horizon, inclusive=inclusive)
+            self._active_sim = self.shard_sims[0]
+            self._barrier(self.now if horizon is None else horizon)
+            self.windows_run += 1
+            if inclusive and not self._outbox and self._peek_over(until):
+                return
+
+    def _peek(self) -> Optional[float]:
+        times = [t for t in (sim.peek_time() for sim in self.shard_sims) if t is not None]
+        return min(times) if times else None
+
+    def _peek_over(self, until: Optional[float]) -> bool:
+        if until is None:
+            return False
+        next_time = self._peek()
+        return next_time is None or next_time > until
+
+    def _advance_idle(self, until: float) -> None:
+        for sim in self.shard_sims:
+            if sim.now < until:
+                sim.now = until
+        self._fire_metrics(until)
+
+    def _barrier(self, horizon: float) -> None:
+        """Exchange transit packets, then fire barrier-aligned metrics."""
+        if self._outbox:
+            outbox, self._outbox = self._outbox, []
+            self.transit_messages += len(outbox)
+            # (time, sender rank, send order): exactly the serial heap's
+            # order for these arrivals — injection order fixes the
+            # receiver-side seq so same-key ties replay the sender's
+            # send order.
+            outbox.sort(key=lambda m: (m[0], m[1], m[2]))
+            sim_by_rank = self._sim_by_rank
+            for time, sort_origin, _seq, exec_origin, callback, args in outbox:
+                sim_by_rank[exec_origin].schedule_arrival_at(
+                    time, sort_origin, exec_origin, callback, *args
+                )
+        self._fire_metrics(horizon)
+
+    # ------------------------------------------------------------------
+    # Telemetry (barrier-sampled metrics)
+    # ------------------------------------------------------------------
+    def attach_metrics(
+        self, registry: "MetricsRegistry", interval_ms: float, until: float
+    ) -> int:
+        """Sample ``registry`` at interval ticks, evaluated at barriers.
+
+        The serial engine interleaves metric-tick events with protocol
+        events; under sharding that would perturb window scheduling, so
+        ticks are instead evaluated at the first barrier past each tick
+        time — globally consistent cuts that schedule nothing, making
+        telemetry-on runs trivially bit-identical to telemetry-off.
+        Sample timestamps keep the nominal tick time.
+        """
+        if interval_ms <= 0:
+            raise ValueError(f"interval_ms must be > 0, got {interval_ms}")
+        first = self.now + interval_ms
+        self._metrics.append([registry, interval_ms, until, first])
+        return max(0, int((until - self.now) / interval_ms))
+
+    def _fire_metrics(self, reached: float) -> None:
+        for entry in self._metrics:
+            registry, interval, until, next_tick = entry
+            while next_tick <= reached and next_tick <= until:
+                registry.sample(next_tick)
+                next_tick += interval
+            entry[3] = next_tick

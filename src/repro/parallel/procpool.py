@@ -1,0 +1,343 @@
+"""One OS process per shard: the same windows, actual parallelism.
+
+The in-process :class:`~repro.parallel.executor.ShardedExecutor` proves
+the synchronization algorithm; this module runs it for real.  Each
+worker builds a **full replica** of the scale world from the spec —
+construction is a pure function of the spec, so every replica agrees on
+node ranks, routes and the workload — then rebinds *its* shard's nodes
+onto a local event loop and executes only those.  Cross-shard sends
+leave through a boundary proxy as plain ``(time, sender rank, send
+order, dst, src, packet)`` tuples; the coordinator merges and routes
+them at each window barrier, exactly like the in-process barrier, so
+all three modes produce identical transit traffic and identical
+delivery digests.
+
+Replication beats ghost-node surgery here: the topology is a few dozen
+routers plus hosts, so the memory cost is trivial, and replica ranks
+being *identical by construction* is what makes the (time, origin, seq)
+total order well-defined across processes with zero coordination.
+
+Packet uids are drawn from per-worker disjoint ranges (worker *i*
+counts from ``(i+1) << 48``) so dedup-by-uid never confuses two
+distinct packets born in different processes.  The uid *values* differ
+from a serial run, but uids only ever feed identity checks — observable
+behavior is value-independent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.parallel.digest import DeliveryLog, delivery_digest
+from repro.parallel.partition import ShardPlan
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.scale import ScaleSpec
+    from repro.sim.network import Network
+
+__all__ = ["run_scale_proc"]
+
+#: (arrival_time, sender_rank, send_order, dst_node, src_node, packet)
+_WireMsg = Tuple[float, int, int, str, str, Any]
+
+
+class _PoisonClock:
+    """Bound to replica nodes outside this worker's shard.
+
+    Those replicas exist only so construction (ranks, routes, faces)
+    matches the serial world; executing anything on them means shard
+    containment broke, so every use fails loudly.
+    """
+
+    __slots__ = ("_shard",)
+
+    def __init__(self, shard: int) -> None:
+        self._shard = shard
+
+    def _refuse(self, *args: Any, **kwargs: Any) -> None:
+        raise RuntimeError(
+            f"worker {self._shard} touched a node outside its shard; "
+            "shard containment is broken"
+        )
+
+    schedule = _refuse
+    schedule_at = _refuse
+    schedule_link = _refuse
+
+    @property
+    def now(self) -> float:
+        self._refuse()
+
+
+class _EgressProxy:
+    """``link.sim`` for this worker's boundary links: sends become tuples."""
+
+    __slots__ = ("sim", "outbox", "_seq")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.outbox: List[_WireMsg] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def schedule_link(
+        self, delay: float, sort_origin: int, exec_origin: int, callback, *args
+    ) -> None:
+        # Boundary egress only ever comes from Face.send: callback is the
+        # foreign replica's bound ``receive``, args are (packet, its face);
+        # the face's peer is the local sender.  Reduced to names so the
+        # tuple crosses the process boundary.
+        packet, dst_face = args
+        seq = self._seq
+        self._seq = seq + 1
+        self.outbox.append(
+            (
+                self.sim.now + delay,
+                sort_origin,
+                seq,
+                callback.__self__.name,
+                dst_face.peer.name,
+                packet,
+            )
+        )
+
+    def drain(self) -> List[_WireMsg]:
+        outbox, self.outbox = self.outbox, []
+        return outbox
+
+
+def _bind_shard(network: "Network", plan: ShardPlan, shard: int) -> Tuple[Simulator, _EgressProxy]:
+    """Rebind one shard of a full replica onto a fresh local event loop."""
+    sim = Simulator()
+    egress = _EgressProxy(sim)
+    poison = _PoisonClock(shard)
+    assignment = plan.assignment
+    for node in network.nodes.values():
+        if assignment[node.name] == shard:
+            node.sim = sim
+            queue = getattr(node, "queue", None)
+            if queue is not None:
+                queue.sim = sim
+        else:
+            node.sim = poison
+    for link in network.links:
+        (a, _), (b, _) = link._ends
+        sa, sb = assignment[a.name], assignment[b.name]
+        if sa == shard and sb == shard:
+            link.sim = sim
+        elif sa == shard or sb == shard:
+            link.sim = egress
+        else:
+            link.sim = poison
+    return sim, egress
+
+
+def _worker_main(conn, spec: "ScaleSpec", shard: int, num_shards: int) -> None:
+    """One shard's event loop, driven by coordinator messages."""
+    import repro.packets as packets_mod
+
+    from repro.parallel.scale import (
+        build_scale_world,
+        scale_events,
+        scale_plan,
+        _publish,
+    )
+
+    # Disjoint uid range per worker: dedup-by-uid stays collision-free
+    # across processes (uids born here can meet uids born elsewhere).
+    packets_mod._packet_ids = itertools.count((shard + 1) << 48)
+
+    world = build_scale_world(spec)
+    plan = scale_plan(world.network, spec, num_shards)
+    sim, egress = _bind_shard(world.network, plan, shard)
+
+    log = DeliveryLog()
+
+    def on_update(host, packet) -> None:
+        log.record(packet.sequence, host.name, host.sim.now - packet.created_at)
+
+    mine = [
+        name for name in sorted(world.hosts) if plan.assignment[name] == shard
+    ]
+    for name in mine:
+        host = world.hosts[name]
+        host.on_update.append(on_update)
+        host.subscribe(
+            [spec.region_cd(world.host_region[name]), spec.world_cd]
+        )
+    for i, (time, player, cd) in enumerate(scale_events(spec)):
+        if plan.assignment[player] == shard:
+            sim.schedule_at(
+                time, _publish, world.hosts[player], cd, spec.payload_bytes, i
+            )
+
+    nodes = world.network.nodes
+    try:
+        conn.send(("ready", sim.peek_time()))
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "run":
+                _op, horizon, inclusive = msg
+                sim.run(until=horizon, inclusive=inclusive)
+                conn.send(("done", sim.peek_time(), egress.drain()))
+            elif op == "inject":
+                for time, sort_origin, _seq, dst_name, src_name, packet in msg[1]:
+                    node = nodes[dst_name]
+                    face = node.face_toward(nodes[src_name])
+                    sim.schedule_arrival_at(
+                        time, sort_origin, node.rank, node.receive, packet, face
+                    )
+                conn.send(("ok", sim.peek_time()))
+            elif op == "finish":
+                conn.send(
+                    (
+                        "result",
+                        {
+                            "entries": log.entries,
+                            "events_processed": sim.events_processed,
+                            "network_bytes": world.network.total_bytes,
+                            "network_packets": world.network.total_packets,
+                        },
+                    )
+                )
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown op {op!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown race
+        return
+    finally:
+        conn.close()
+
+
+def run_scale_proc(spec: "ScaleSpec", workers: int) -> dict:
+    """Coordinate ``workers`` shard processes through lookahead windows.
+
+    The coordinator mirrors :meth:`ShardedExecutor.run` exactly: pick the
+    earliest pending event across shards, run everyone to
+    ``next + lookahead`` (exclusive) or the horizon (inclusive), then
+    merge each worker's egress — sorted by ``(time, sender rank, send
+    order)`` — and inject per destination shard.  Falls back to the
+    in-process executor when the platform cannot fork processes.
+    """
+    from repro.parallel.scale import build_scale_world, execute_scale_local, scale_plan
+
+    if workers < 2:
+        raise ValueError(f"run_scale_proc needs >= 2 workers, got {workers}")
+    # A throwaway replica gives the coordinator the plan (message routing)
+    # and the lookahead without running anything.
+    reference = build_scale_world(spec)
+    plan = scale_plan(reference.network, spec, workers)
+    lookahead = plan.lookahead_ms(reference.network)
+    until = spec.horizon_ms
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        from repro.parallel.executor import ShardedExecutor
+
+        result = execute_scale_local(
+            spec, lambda network: ShardedExecutor(network, plan)
+        )
+        result["fallback"] = "in-process (no fork start method)"
+        return result
+
+    conns = []
+    procs = []
+    try:
+        for shard in range(workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child, spec, shard, workers), daemon=True
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+
+        peeks: List[Optional[float]] = []
+        for conn in conns:
+            tag, peek = conn.recv()
+            assert tag == "ready"
+            peeks.append(peek)
+
+        windows = 0
+        transit = 0
+        while True:
+            times = [t for t in peeks if t is not None]
+            next_time = min(times) if times else None
+            if next_time is None or next_time > until:
+                break
+            if lookahead == float("inf") or next_time + lookahead > until:
+                horizon, inclusive = until, True
+            else:
+                horizon, inclusive = next_time + lookahead, False
+            for conn in conns:
+                conn.send(("run", horizon, inclusive))
+            merged: List[_WireMsg] = []
+            for i, conn in enumerate(conns):
+                tag, peek, outbox = conn.recv()
+                assert tag == "done"
+                peeks[i] = peek
+                merged.extend(outbox)
+            windows += 1
+            if merged:
+                transit += len(merged)
+                # Same sort key as the in-process barrier; ties at
+                # (time, origin) always come from one worker, whose local
+                # send order disambiguates them.
+                merged.sort(key=lambda m: (m[0], m[1], m[2]))
+                routed: List[List[_WireMsg]] = [[] for _ in range(workers)]
+                for msg in merged:
+                    routed[plan.assignment[msg[3]]].append(msg)
+            else:
+                routed = [[] for _ in range(workers)]
+            for conn, msgs in zip(conns, routed):
+                conn.send(("inject", msgs))
+            for i, conn in enumerate(conns):
+                tag, peek = conn.recv()
+                assert tag == "ok"
+                peeks[i] = peek
+
+        log = DeliveryLog()
+        events_processed = 0
+        network_bytes = 0
+        network_packets = 0
+        for conn in conns:
+            conn.send(("finish",))
+            tag, result = conn.recv()
+            assert tag == "result"
+            log.entries.extend(result["entries"])
+            events_processed += result["events_processed"]
+            network_bytes += result["network_bytes"]
+            network_packets += result["network_packets"]
+        return {
+            "deliveries": len(log),
+            "digest": log.digest(),
+            "events_processed": events_processed,
+            "network_bytes": network_bytes,
+            "network_packets": network_packets,
+            "executor": {
+                "shards": workers,
+                "lookahead_ms": lookahead,
+                "windows_run": windows,
+                "transit_messages": transit,
+            },
+        }
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)

@@ -1,0 +1,346 @@
+"""The ``scale`` scenario: a region-sharded world big enough to parallelize.
+
+The paper's testbed (62 players) fits one event loop; MMO-scale
+populations (§V-B projects toward thousands of players) do not.  This
+scenario builds a world whose structure *matches the partition rule*: R
+regions, each a core router with access routers and player hosts hanging
+off it, cores joined in a ring.  Each region's CD is anchored at its own
+core (RP = ``core{r}``), plus one world-visible CD at ``core0`` — so
+region-local traffic never crosses a shard boundary and the conservative
+lookahead (the 2 ms core ring delay) stays wide.
+
+Three execution modes over the *same* build + workload:
+
+* ``workers=1, shards=1`` — the serial engine (ground truth);
+* ``workers=1, shards=N`` — the in-process :class:`ShardedExecutor`
+  (proves the synchronization algorithm);
+* ``workers=N`` — one OS process per shard
+  (:mod:`repro.parallel.procpool`, the actual speedup).
+
+All three must produce the same delivery digest bit-for-bit; the bench
+harness (:func:`bench_scale`) asserts that before it reports any
+speedup number.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.names import ROOT, Name
+from repro.parallel.digest import DeliveryLog
+from repro.parallel.partition import ShardPlan, partition_by_anchors
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import GCopssHost
+    from repro.sim.network import Network
+
+__all__ = [
+    "ScaleSpec",
+    "ScaleWorld",
+    "build_scale_world",
+    "scale_events",
+    "scale_plan",
+    "run_scale",
+    "bench_scale",
+]
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """One scale run, fully determined by its fields (no hidden state)."""
+
+    players: int = 400
+    regions: int = 4
+    access_per_region: int = 4
+    updates: int = 400
+    seed: int = 11
+    #: Fraction of publishes going to the world CD (seen by everyone);
+    #: the rest stay region-local.
+    world_fraction: float = 0.05
+    payload_bytes: int = 200
+    core_ring_delay_ms: float = 2.0
+    access_delay_ms: float = 0.5
+    host_delay_ms: float = 0.1
+    #: Publishes start here; subscriptions converge in the quiet prefix.
+    publish_start_ms: float = 1000.0
+    publish_interval_ms: float = 1.0
+    drain_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.regions < 1:
+            raise ValueError("need at least one region")
+        if self.players < self.regions:
+            raise ValueError("need at least one player per region")
+        if not 0.0 <= self.world_fraction <= 1.0:
+            raise ValueError(f"world_fraction must be in [0,1], got {self.world_fraction}")
+
+    @property
+    def horizon_ms(self) -> float:
+        return (
+            self.publish_start_ms
+            + self.updates * self.publish_interval_ms
+            + self.drain_ms
+        )
+
+    def region_cd(self, region: int) -> Name:
+        return ROOT / "region" / str(region)
+
+    @property
+    def world_cd(self) -> Name:
+        return ROOT / "world"
+
+
+@dataclass
+class ScaleWorld:
+    """A built scale topology plus its player layout."""
+
+    network: "Network"
+    hosts: Dict[str, "GCopssHost"]
+    host_region: Dict[str, int]
+    cores: List[str]
+
+
+def build_scale_world(spec: ScaleSpec):
+    """Build the region-ring topology and install the RP layout.
+
+    Construction order is a pure function of ``spec`` — node ranks (and
+    with them every tie-break in the simulation) are identical no matter
+    which process builds the world, which is what lets worker processes
+    each build a full replica and still agree on global event order.
+    """
+    from repro.core.engine import GCopssHost, GCopssNetworkBuilder, GCopssRouter
+    from repro.core.rp import RpTable
+    from repro.sim.network import Network
+
+    network = Network()
+    cores: List[str] = []
+    for r in range(spec.regions):
+        GCopssRouter(network, f"core{r}")
+        cores.append(f"core{r}")
+    if spec.regions == 2:
+        network.connect("core0", "core1", spec.core_ring_delay_ms)
+    elif spec.regions > 2:
+        for r in range(spec.regions):
+            network.connect(
+                f"core{r}", f"core{(r + 1) % spec.regions}", spec.core_ring_delay_ms
+            )
+    access_names: List[str] = []
+    for r in range(spec.regions):
+        for a in range(spec.access_per_region):
+            name = f"acc{r}_{a}"
+            GCopssRouter(network, name)
+            network.connect(name, f"core{r}", spec.access_delay_ms)
+            access_names.append(name)
+
+    hosts: Dict[str, GCopssHost] = {}
+    host_region: Dict[str, int] = {}
+    total_access = len(access_names)
+    for i in range(spec.players):
+        access = access_names[i % total_access]
+        region = int(access[3 : access.index("_")])
+        name = f"p{i:06d}"
+        host = GCopssHost(network, name)
+        network.connect(name, access, spec.host_delay_ms)
+        hosts[name] = host
+        host_region[name] = region
+
+    rp_table = RpTable()
+    for r in range(spec.regions):
+        rp_table.assign(spec.region_cd(r), f"core{r}")
+    rp_table.assign(spec.world_cd, "core0")
+    GCopssNetworkBuilder(network, rp_table).install()
+    return ScaleWorld(
+        network=network, hosts=hosts, host_region=host_region, cores=cores
+    )
+
+
+def scale_events(spec: ScaleSpec) -> List[Tuple[float, str, str]]:
+    """The seeded workload: ``(time_ms, player, cd_text)`` per publish.
+
+    A pure function of the spec (string-seeded ``random.Random`` is
+    process-stable), shared verbatim by every execution mode; each worker
+    filters it down to its own shard's publishers.
+    """
+    players = [f"p{i:06d}" for i in range(spec.players)]
+    total_access = spec.regions * spec.access_per_region
+    rng = random.Random(f"scale:{spec.seed}")
+    events: List[Tuple[float, str, str]] = []
+    for i in range(spec.updates):
+        player = players[rng.randrange(spec.players)]
+        region = (int(player[1:]) % total_access) // spec.access_per_region
+        if rng.random() < spec.world_fraction:
+            cd = spec.world_cd
+        else:
+            cd = spec.region_cd(region)
+        time = (
+            spec.publish_start_ms
+            + i * spec.publish_interval_ms
+            + rng.random() * spec.publish_interval_ms
+        )
+        events.append((time, player, str(cd)))
+    return events
+
+
+def scale_plan(network: "Network", spec: ScaleSpec, shards: int) -> ShardPlan:
+    """Anchor shard *i* at ``core{i}``; regions fold onto the nearest core."""
+    if not 1 <= shards <= spec.regions:
+        raise ValueError(
+            f"shards must be in 1..{spec.regions} (one anchor per region), got {shards}"
+        )
+    return partition_by_anchors(network, [f"core{r}" for r in range(shards)])
+
+
+def _publish(host: "GCopssHost", cd: str, size: int, sequence: int) -> None:
+    host.publish(cd, size, sequence=sequence)
+
+
+def execute_scale_local(spec: ScaleSpec, make_executor) -> dict:
+    """Build, subscribe, publish, drain — under any local executor."""
+    world = build_scale_world(spec)
+    executor = make_executor(world.network)
+    log = DeliveryLog()
+
+    def on_update(host: "GCopssHost", packet) -> None:
+        log.record(packet.sequence, host.name, host.sim.now - packet.created_at)
+
+    for name in sorted(world.hosts):
+        host = world.hosts[name]
+        host.on_update.append(on_update)
+        host.subscribe([spec.region_cd(world.host_region[name]), spec.world_cd])
+
+    for i, (time, player, cd) in enumerate(scale_events(spec)):
+        executor.schedule_external(
+            player, time, _publish, world.hosts[player], cd, spec.payload_bytes, i
+        )
+    executor.run(until=spec.horizon_ms)
+    return {
+        "deliveries": len(log),
+        "digest": log.digest(),
+        "events_processed": executor.events_processed,
+        "network_bytes": world.network.total_bytes,
+        "network_packets": world.network.total_packets,
+        "executor": executor.telemetry(),
+    }
+
+
+def run_scale(spec: ScaleSpec, shards: int = 1, workers: int = 1) -> dict:
+    """Run the scenario under the requested execution mode.
+
+    ``workers > 1`` runs one process per shard (``shards`` is then the
+    worker count); ``workers == 1`` runs in-process, serial when
+    ``shards == 1`` and window-synchronized otherwise.
+    """
+    from repro.sim.engine import SerialExecutor
+
+    if workers > 1:
+        from repro.parallel.procpool import run_scale_proc
+
+        result = run_scale_proc(spec, workers)
+        result["mode"] = f"proc:{workers}"
+        return result
+    if shards > 1:
+        from repro.parallel.executor import ShardedExecutor
+
+        result = execute_scale_local(
+            spec,
+            lambda network: ShardedExecutor(
+                network, scale_plan(network, spec, shards)
+            ),
+        )
+        result["mode"] = f"inproc:{shards}"
+        return result
+    result = execute_scale_local(spec, SerialExecutor)
+    result["mode"] = "serial"
+    return result
+
+
+def bench_scale(
+    spec: ScaleSpec,
+    worker_counts: Tuple[int, ...] = (1, 2, 4),
+    check_inproc: bool = True,
+) -> dict:
+    """Speedup-vs-workers sweep with the equivalence gates attached.
+
+    Every arm must reproduce the serial delivery digest before any
+    speedup number is reported — a parallel executor that is fast but
+    wrong is worthless.  ``workers=1`` arms run serially (the baseline);
+    ``check_inproc`` also runs the in-process sharded executor at the
+    largest worker count as an algorithm check.
+    """
+    import time as _time
+
+    t0 = _time.perf_counter()
+    serial = run_scale(spec, shards=1, workers=1)
+    serial_wall = _time.perf_counter() - t0
+    arms = [
+        {
+            "mode": serial["mode"],
+            "workers": 1,
+            "wall_s": round(serial_wall, 3),
+            "deliveries": serial["deliveries"],
+            "digest": serial["digest"],
+            "speedup": 1.0,
+            "digest_match": True,
+        }
+    ]
+    if check_inproc:
+        shards = max(w for w in worker_counts if w <= spec.regions)
+        if shards > 1:
+            t0 = _time.perf_counter()
+            inproc = run_scale(spec, shards=shards, workers=1)
+            wall = _time.perf_counter() - t0
+            arms.append(
+                {
+                    "mode": inproc["mode"],
+                    "workers": 1,
+                    "wall_s": round(wall, 3),
+                    "deliveries": inproc["deliveries"],
+                    "digest": inproc["digest"],
+                    "speedup": round(serial_wall / wall, 3) if wall else None,
+                    "digest_match": inproc["digest"] == serial["digest"],
+                }
+            )
+    for workers in worker_counts:
+        if workers <= 1:
+            continue
+        t0 = _time.perf_counter()
+        result = run_scale(spec, workers=workers)
+        wall = _time.perf_counter() - t0
+        arms.append(
+            {
+                "mode": result["mode"],
+                "workers": workers,
+                "wall_s": round(wall, 3),
+                "deliveries": result["deliveries"],
+                "digest": result["digest"],
+                "speedup": round(serial_wall / wall, 3) if wall else None,
+                "digest_match": result["digest"] == serial["digest"],
+            }
+        )
+    mismatched = [a["mode"] for a in arms if not a["digest_match"]]
+    return {
+        "spec": {
+            "players": spec.players,
+            "regions": spec.regions,
+            "access_per_region": spec.access_per_region,
+            "updates": spec.updates,
+            "seed": spec.seed,
+            "world_fraction": spec.world_fraction,
+        },
+        "serial_digest": serial["digest"],
+        "deliveries": serial["deliveries"],
+        "arms": arms,
+        "equivalent": not mismatched,
+        "mismatched_arms": mismatched,
+    }
+
+
+def quick_spec(spec: ScaleSpec) -> ScaleSpec:
+    """A CI-sized shrink of ``spec`` that keeps its structure."""
+    return replace(
+        spec,
+        players=min(spec.players, 200),
+        updates=min(spec.updates, 200),
+    )

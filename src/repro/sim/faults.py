@@ -17,12 +17,18 @@ Design constraints:
   the hook slot is ``None`` and the fabric pays one attribute load — the
   PR-1 perf gates are measured with that nil path.
 
-* **Determinism.**  Each armed link gets its own ``random.Random`` seeded
-  with the *string* ``f"{plan.seed}:{link.name}"`` (string seeding hashes
-  via SHA-512 inside CPython and is stable across processes, unlike salted
+* **Determinism.**  Each armed link *direction* gets its own
+  ``random.Random`` seeded with the *string*
+  ``f"{plan.seed}:{link.name}:{src}->{dst}"`` (string seeding hashes via
+  SHA-512 inside CPython and is stable across processes, unlike salted
   ``hash()`` of tuples).  Two runs of the same plan over the same topology
   and workload therefore drop exactly the same packets, independent of how
-  many other links are armed or the order links were created.
+  many other links are armed or the order links were created.  Per-direction
+  streams (rather than one stream per link) also make the drop decisions a
+  pure function of that direction's packet sequence — the two directions of
+  a sharded-boundary link may interleave differently than serial execution
+  would interleave them, and fate-sharing one RNG across directions would
+  leak that interleaving into the drop pattern.
 
 * **Scope.**  A :class:`LinkFaults` spec applies to ``"all"`` packets, only
   ``"control"`` packets (``Packet.is_control`` is True — Subscribe, the
@@ -221,6 +227,14 @@ class FaultInjector:
         self.plan = plan
         self.stats = FaultStats()
         self.down_nodes: set[str] = set()
+        # Per-clock view of the down set, keyed by id(sim).  Serially there
+        # is one clock and one view (aliasing ``down_nodes``); under the
+        # sharded executor each shard gets its own view, updated by a
+        # mirrored crash/restart event on that shard's clock — so every
+        # shard observes the transition in its own event order, exactly
+        # where the serial heap would have placed it.  A shared set would
+        # leak one shard's progress into another mid-window.
+        self._down_by_sim: Dict[int, set] = {}
         self._armed: List[Link] = []
         self._handles: List[EventHandle] = []
         self._installed = False
@@ -254,13 +268,31 @@ class FaultInjector:
                 raise RuntimeError(f"link {link.name} already has a fault hook")
             link.fault_hook = self._make_hook(link, spec)
             self._armed.append(link)
-        sim = self.network.sim
+        # One clock serially; one per shard under the sharded executor
+        # (install after the executor has rebound node clocks).
+        sims = {id(node.sim): node.sim for node in self.network.nodes.values()}
+        for sim_id, sim in sims.items():
+            self._down_by_sim[sim_id] = (
+                self.down_nodes if len(sims) == 1 else set()
+            )
         for node_name, nf in sorted(self.plan.nodes.items()):
-            self._handles.append(sim.schedule_at(nf.crash_at, self._crash, node_name))
-            if nf.restart_at is not None:
+            owner_sim = self.network.nodes[node_name].sim
+            for sim_id, sim in sims.items():
+                # Mirror the transition onto every clock: each shard's
+                # hooks consult their own down view, so the crash lands in
+                # each shard's event order exactly at crash_at — never
+                # early or late depending on which shard ran first.  Only
+                # the owning clock's mirror wipes state and counts.
+                owner = sim is owner_sim
                 self._handles.append(
-                    sim.schedule_at(nf.restart_at, self._restart, node_name)
+                    sim.schedule_at(nf.crash_at, self._crash, node_name, sim_id, owner)
                 )
+                if nf.restart_at is not None:
+                    self._handles.append(
+                        sim.schedule_at(
+                            nf.restart_at, self._restart, node_name, sim_id, owner
+                        )
+                    )
         return self
 
     def uninstall(self) -> None:
@@ -271,6 +303,7 @@ class FaultInjector:
         for handle in self._handles:
             handle.cancel()
         self._handles.clear()
+        self._down_by_sim.clear()
         self._installed = False
 
     # ------------------------------------------------------------------
@@ -279,47 +312,67 @@ class FaultInjector:
     def _make_hook(
         self, link: Link, spec: Optional[LinkFaults]
     ) -> Callable[[Face, Packet], Optional[float]]:
-        sim = link.sim
         stats = self.stats
-        down_nodes = self.down_nodes
+        down_by_sim = self._down_by_sim
         link_name = link.name
+
+        def node_down(face: Face) -> bool:
+            # The sending node's clock identifies the shard whose down
+            # view applies; serially there is exactly one view.
+            down = down_by_sim.get(id(face.node.sim))
+            return bool(down) and (
+                face.node.name in down or face.peer.name in down
+            )
+
         if spec is None:
             # Node-blackout watcher only.
             def watch_hook(face: Face, packet: Packet) -> Optional[float]:
-                if down_nodes and (
-                    face.node.name in down_nodes or face.peer.name in down_nodes
-                ):
+                if node_down(face):
                     stats.count_drop(face.node.name, face.peer.name, "node_down")
                     return None
                 return 0.0
 
             return watch_hook
 
-        # Seed with a string so the stream is stable across processes
-        # (tuple/int-from-hash seeding would inherit PYTHONHASHSEED salt).
-        rng = random.Random(f"{self.plan.seed}:{link_name}")
+        seed = self.plan.seed
         loss = spec.loss
         burst = spec.burst
         down = spec.down
         jitter = spec.jitter_ms
         scope = spec.scope
-        # Gilbert–Elliott state lives in a one-element list so the closure
-        # can mutate it without a class per link.
-        in_bad = [False]
+        # One RNG + Gilbert–Elliott state per *direction*, created lazily
+        # and keyed by the sending node.  Seed with a string so the stream
+        # is stable across processes (tuple/int-from-hash seeding would
+        # inherit PYTHONHASHSEED salt); including the direction makes each
+        # stream a pure function of that direction's packet sequence (see
+        # the determinism note in the module docstring).  The chain state
+        # lives in a one-element list so the closure can mutate it.
+        directions: Dict[str, Tuple[random.Random, List[bool]]] = {}
+
+        def direction_state(face: Face) -> Tuple[random.Random, List[bool]]:
+            state = directions.get(face.node.name)
+            if state is None:
+                rng = random.Random(
+                    f"{seed}:{link_name}:{face.node.name}->{face.peer.name}"
+                )
+                state = (rng, [False])
+                directions[face.node.name] = state
+            return state
 
         def hook(face: Face, packet: Packet) -> Optional[float]:
-            if down_nodes and (
-                face.node.name in down_nodes or face.peer.name in down_nodes
-            ):
+            if node_down(face):
                 stats.count_drop(face.node.name, face.peer.name, "node_down")
                 return None
-            now = sim.now
+            # The sender's clock is the executing clock — correct in both
+            # serial and sharded runs (link.sim may be a boundary proxy).
+            now = face.node.sim.now
             for start, end in down:
                 if start <= now < end:
                     stats.count_drop(face.node.name, face.peer.name, "down")
                     return None
             if scope != "all" and packet.is_control != (scope == "control"):
                 return 0.0
+            rng, in_bad = direction_state(face)
             if burst is not None:
                 if in_bad[0]:
                     if rng.random() < burst.p_bad_to_good:
@@ -346,7 +399,10 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Node crash / restart
     # ------------------------------------------------------------------
-    def _crash(self, node_name: str) -> None:
+    def _crash(self, node_name: str, sim_id: int, owner: bool) -> None:
+        self._down_by_sim[sim_id].add(node_name)
+        if not owner:
+            return
         self.down_nodes.add(node_name)
         self.stats.crashes += 1
         node = self.network.nodes[node_name]
@@ -354,7 +410,10 @@ class FaultInjector:
         if reset is not None:
             reset()
 
-    def _restart(self, node_name: str) -> None:
+    def _restart(self, node_name: str, sim_id: int, owner: bool) -> None:
+        self._down_by_sim[sim_id].discard(node_name)
+        if not owner:
+            return
         self.down_nodes.discard(node_name)
         self.stats.restarts += 1
         node = self.network.nodes[node_name]

@@ -184,7 +184,12 @@ class Face:
         if peer is None or peer_face is None:  # face not wired via Link()
             peer = self.peer
             peer_face = self.peer_face
-        link.sim.schedule(delay, peer.receive, packet, peer_face)
+        # Arrivals tie-break by the *sender's* rank and execute under the
+        # *receiver's* — the content-based ordering the sharded executor
+        # reproduces (see repro.sim.engine module docs).
+        link.sim.schedule_link(
+            delay, self.node.rank, peer.rank, peer.receive, packet, peer_face
+        )
 
     def __repr__(self) -> str:
         return f"Face({self.node.name}#{self.face_id}->{self.peer.name})"
@@ -288,6 +293,10 @@ class Node:
         # Dispatch-side observer installed by a PacketTracer (repro.obs):
         # engines report enqueue/service/delivery when this is set.
         self.trace_hook = None
+        # Global event-ordering identity, assigned by registration order
+        # (see Network._register).  Worker processes override it with the
+        # serial-world rank so tie-breaking matches across executors.
+        self.rank = -1
         network._register(self)
 
     # ------------------------------------------------------------------
@@ -367,6 +376,7 @@ class Network:
     def _register(self, node: Node) -> None:
         if node.name in self.nodes:
             raise ValueError(f"duplicate node name: {node.name}")
+        node.rank = len(self.nodes)
         self.nodes[node.name] = node
         self._invalidate()
 

@@ -1,0 +1,139 @@
+"""Differential tests: sharded execution must be bit-identical to serial.
+
+The sharded executor's entire value rests on one claim — partitioning
+changes *nothing observable*.  These tests replay the repo's real
+workloads (the fig-4 microbenchmark and the chaos fault harness) under
+the serial engine and under 1-, 2- and 4-shard partitions, and demand
+byte-for-byte equality of deliveries, latencies, traffic accounting,
+node counters and the chaos report digest.  Telemetry must stay
+observationally free under sharding, exactly as it is serially.
+
+Latency *sample order* is the one serial artifact sharding legitimately
+changes: samples append in delivery-callback execution order, and
+same-timestamp deliveries on different shards execute in shard order,
+not heap order.  The multiset of samples — and everything derived from
+it — must still match, so comparisons sort first.
+"""
+
+import pytest
+
+from repro.experiments.chaos import run_chaos
+from repro.experiments.tracerun import run_fig4_traced
+from repro.obs.session import TelemetrySession
+from repro.parallel import ShardedExecutor, partition_by_anchors
+
+SCALE = 0.02
+SEED = 7
+
+#: Anchor sets for the fig-4 / chaos testbed topology (routers R1..R9).
+ANCHORS = {
+    1: ["R1"],
+    2: ["R1", "R2"],
+    4: ["R1", "R2", "R3", "R6"],
+}
+
+_EXACT_KEYS = (
+    "updates_published",
+    "deliveries",
+    "network_bytes",
+    "network_packets",
+    "counters",
+)
+
+
+def _factory(shards):
+    anchors = ANCHORS[shards]
+
+    def make(network):
+        return ShardedExecutor(network, partition_by_anchors(network, anchors))
+
+    return make
+
+
+class TestFig4Differential:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_fig4_traced(scale=SCALE, seed=SEED)
+
+    @pytest.mark.parametrize("shards", sorted(ANCHORS))
+    def test_sharded_matches_serial(self, serial, shards):
+        sharded = run_fig4_traced(
+            scale=SCALE, seed=SEED, executor_factory=_factory(shards)
+        )
+        for key in _EXACT_KEYS:
+            assert sharded[key] == serial[key], key
+        assert sorted(sharded["latency_samples"]) == sorted(
+            serial["latency_samples"]
+        )
+
+    def test_single_shard_preserves_sample_order_too(self, serial):
+        # One shard has one heap: even the execution order is serial.
+        sharded = run_fig4_traced(
+            scale=SCALE, seed=SEED, executor_factory=_factory(1)
+        )
+        assert sharded["latency_samples"] == serial["latency_samples"]
+
+
+class TestChaosDifferential:
+    """The digest covers the miss set, fault stats and node counters."""
+
+    @pytest.mark.parametrize("shards", sorted(ANCHORS))
+    def test_lossy_plan_digest_matches_serial(self, shards):
+        serial = run_chaos(plan_name="rp-split-lossy", seed=1, scale=SCALE)
+        sharded = run_chaos(
+            plan_name="rp-split-lossy",
+            seed=1,
+            scale=SCALE,
+            executor_factory=_factory(shards),
+        )
+        assert sharded.digest() == serial.digest()
+        assert sharded.fault_stats == serial.fault_stats
+        assert sharded.invariant_ok and serial.invariant_ok
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("plan", ["rp-crash", "link-flap"])
+    @pytest.mark.parametrize("shards", sorted(ANCHORS))
+    def test_remaining_plans_digest_matches_serial(self, plan, shards):
+        serial = run_chaos(plan_name=plan, seed=1, scale=SCALE)
+        sharded = run_chaos(
+            plan_name=plan, seed=1, scale=SCALE, executor_factory=_factory(shards)
+        )
+        assert sharded.digest() == serial.digest()
+
+
+class TestShardedTelemetryTransparency:
+    """Telemetry on/off must stay bit-identical *under sharding* too.
+
+    Barrier-sampled metric ticks schedule nothing, so this holds by
+    construction — which is exactly why it deserves a pin.
+    """
+
+    def test_fig4_sharded_traced_equals_untraced(self):
+        off = run_fig4_traced(scale=SCALE, seed=SEED, executor_factory=_factory(2))
+        session = TelemetrySession()
+        on = run_fig4_traced(
+            scale=SCALE, seed=SEED, telemetry=session, executor_factory=_factory(2)
+        )
+        for key in _EXACT_KEYS:
+            assert off[key] == on[key], key
+        assert sorted(off["latency_samples"]) == sorted(on["latency_samples"])
+        assert len(session.tracer.events) > 0
+        assert len(session.metrics.series) > 0
+
+    def test_chaos_sharded_digest_unchanged_by_telemetry(self):
+        untraced = run_chaos(
+            plan_name="rp-split-lossy",
+            seed=1,
+            scale=SCALE,
+            executor_factory=_factory(2),
+        )
+        session = TelemetrySession()
+        traced = run_chaos(
+            plan_name="rp-split-lossy",
+            seed=1,
+            scale=SCALE,
+            telemetry=session,
+            executor_factory=_factory(2),
+        )
+        assert traced.digest() == untraced.digest()
+        assert traced.trace["events_recorded"] > 0

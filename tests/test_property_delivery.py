@@ -1,9 +1,18 @@
-"""Property-based end-to-end test: pub/sub delivery on random networks.
+"""Property-based end-to-end tests: pub/sub delivery on random networks.
 
 The single most important invariant of the whole system: for ANY
 topology, RP placement, subscription pattern and publish sequence, every
 subscriber whose CD set covers a publication receives it exactly once,
 and nobody else receives it.
+
+On top of that ground-truth check, two families of properties keep the
+sharded executor honest:
+
+* lossy networks may *miss* deliveries but never misdeliver or
+  duplicate (dedup and ST matching are loss-oblivious);
+* for any random scenario — faulty or not — the sharded executor's
+  delivery digest is bit-identical to the serial engine's, at every
+  viable shard count.
 """
 
 import random
@@ -18,6 +27,9 @@ from repro.core import (
     RpTable,
 )
 from repro.names import Name
+from repro.parallel import DeliveryLog, ShardedExecutor, partition_by_anchors
+from repro.sim.engine import SerialExecutor
+from repro.sim.faults import FaultInjector, FaultPlan, GilbertElliott, LinkFaults
 from repro.sim.network import Network
 
 # The CD universe: the paper's prefix-free top pieces and leaves below.
@@ -106,3 +118,142 @@ def test_delivery_matches_subscription_ground_truth(case):
         )
         # Exactly once: no duplicates slipped through dedup.
         assert len(got) == len(set(got))
+
+
+# ----------------------------------------------------------------------
+# Executor-parameterized runner: the same scenario under the serial
+# engine or the sharded one, with an optional (loss-only) fault plan.
+# ----------------------------------------------------------------------
+
+#: Publishes start here — far past subscription convergence (the widest
+#: random graph here is a handful of 1 ms hops).
+_PUBLISH_START_MS = 1000.0
+_PUBLISH_GAP_MS = 5.0
+
+
+def _run_case(case, shards=0, plan=None):
+    """Build + run one drawn scenario; return (digest, received, hosts).
+
+    ``shards == 0`` runs the serial engine; otherwise the network is
+    partitioned around the first ``shards`` routers.  Publishes go
+    through ``executor.schedule_external`` at fixed absolute times so
+    latencies — and with them the delivery digest — are comparable
+    bit-for-bit across executors.
+    """
+    edges, rp_of_piece, host_specs, publishes = case
+    net = Network()
+    num_routers = max(max(a, b) for a, b in edges) + 1
+    routers = [GCopssRouter(net, f"R{i}") for i in range(num_routers)]
+    for a, b in edges:
+        net.connect(routers[a], routers[b], 1.0)
+
+    table = RpTable()
+    for piece, router_index in rp_of_piece.items():
+        table.assign(piece, f"R{router_index % num_routers}")
+
+    hosts = []
+    for i, (attach, subs) in enumerate(host_specs):
+        host = GCopssHost(net, f"h{i}")
+        net.connect(host, routers[attach % num_routers], 0.5)
+        hosts.append((host, {Name.parse(s) for s in subs}))
+
+    GCopssNetworkBuilder(net, table).install()
+    if shards:
+        executor = ShardedExecutor(
+            net, partition_by_anchors(net, [f"R{i}" for i in range(shards)])
+        )
+    else:
+        executor = SerialExecutor(net)
+    if plan is not None:
+        FaultInjector(net, plan).install()
+
+    log = DeliveryLog()
+    received = {host.name: [] for host, _ in hosts}
+
+    def on_update(h, p):
+        received[h.name].append((p.sequence, str(p.cd)))
+        log.record(p.sequence, h.name, h.sim.now - p.created_at)
+
+    for host, subs in hosts:
+        host.on_update.append(on_update)
+        if subs:
+            host.subscribe(subs)
+    executor.run(until=_PUBLISH_START_MS)
+
+    publisher = hosts[0][0]
+    for seq, leaf in enumerate(publishes):
+        executor.schedule_external(
+            publisher.name,
+            _PUBLISH_START_MS + seq * _PUBLISH_GAP_MS,
+            publisher.publish,
+            leaf,
+            10,
+            seq,
+        )
+    executor.run()
+    return log.digest(), received, hosts
+
+
+def _loss_plan(seed, loss, burst):
+    faults = LinkFaults(
+        loss=loss,
+        burst=GilbertElliott() if burst else None,
+    )
+    return FaultPlan(seed=seed, name="property-loss", default=faults)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario(), st.integers(min_value=2, max_value=3))
+def test_sharded_digest_matches_serial(case, shards):
+    num_routers = max(max(a, b) for a, b in case[0]) + 1
+    shards = min(shards, num_routers)
+    serial_digest, _, _ = _run_case(case)
+    sharded_digest, _, _ = _run_case(case, shards=shards)
+    assert sharded_digest == serial_digest
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    scenario(),
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0.05, max_value=0.5),
+    st.booleans(),
+)
+def test_lossy_network_never_misdelivers_or_duplicates(case, seed, loss, burst):
+    """Loss weakens exactly-once to at-most-once — never to misdelivery."""
+    edges, rp_of_piece, host_specs, publishes = case
+    _, received, hosts = _run_case(case, plan=_loss_plan(seed, loss, burst))
+    publisher = hosts[0][0]
+    for host, subs in hosts:
+        got = received[host.name]
+        assert len(got) == len(set(got)), f"{host.name} saw a duplicate"
+        for seq, leaf in got:
+            cd = Name.parse(leaf)
+            assert host is not publisher, "publisher echoed its own update"
+            assert any(s.is_prefix_of(cd) for s in subs), (
+                f"{host.name} subscribed {sorted(map(str, subs))} "
+                f"but received {leaf}"
+            )
+            assert publishes[seq] == leaf, "sequence/CD pairing corrupted"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scenario(),
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0.05, max_value=0.4),
+    st.booleans(),
+)
+def test_sharded_digest_matches_serial_under_faults(case, shards, seed, loss, burst):
+    """Per-direction fault RNG streams keep drops identical across executors."""
+    num_routers = max(max(a, b) for a, b in case[0]) + 1
+    shards = min(shards, num_routers)
+    serial_digest, serial_received, _ = _run_case(
+        case, plan=_loss_plan(seed, loss, burst)
+    )
+    sharded_digest, sharded_received, _ = _run_case(
+        case, shards=shards, plan=_loss_plan(seed, loss, burst)
+    )
+    assert sharded_digest == serial_digest
+    assert sharded_received == serial_received

@@ -1,0 +1,132 @@
+"""The `scale` scenario: three execution modes, one delivery digest.
+
+Tier-1 keeps a small multiprocess smoke (2 workers) — the cheapest
+end-to-end proof that the replicated-build worker protocol reproduces
+the serial digest across real process boundaries.  The wider sweeps
+(4 workers, bench harness) are slow-marked.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.parallel.scale import (
+    ScaleSpec,
+    bench_scale,
+    build_scale_world,
+    quick_spec,
+    run_scale,
+    scale_events,
+    scale_plan,
+)
+
+SPEC = ScaleSpec(players=64, regions=4, access_per_region=2, updates=80, seed=9)
+
+
+class TestScaleWorkload:
+    def test_build_is_a_pure_function_of_the_spec(self):
+        a = build_scale_world(SPEC)
+        b = build_scale_world(SPEC)
+        assert sorted(a.network.nodes) == sorted(b.network.nodes)
+        assert [n.rank for n in a.network.nodes.values()] == [
+            n.rank for n in b.network.nodes.values()
+        ]
+        assert a.host_region == b.host_region
+
+    def test_events_are_deterministic_and_in_window(self):
+        events = scale_events(SPEC)
+        assert events == scale_events(SPEC)
+        assert len(events) == SPEC.updates
+        for time, player, cd in events:
+            assert SPEC.publish_start_ms <= time < SPEC.horizon_ms
+            assert player in build_scale_world(SPEC).hosts
+            assert cd.startswith("/region/") or cd == "/world"
+
+    def test_plan_anchors_at_cores(self):
+        world = build_scale_world(SPEC)
+        plan = scale_plan(world.network, SPEC, 2)
+        assert plan.anchors == ("core0", "core1")
+        # Every host shares its region core's shard when one core per
+        # region is an anchor.
+        full = scale_plan(world.network, SPEC, 4)
+        for host, region in world.host_region.items():
+            assert full.shard_of(host) == full.shard_of(f"core{region}")
+
+
+class TestScaleEquivalence:
+    def test_two_workers_match_serial(self):
+        serial = run_scale(SPEC)
+        proc = run_scale(SPEC, workers=2)
+        assert proc["digest"] == serial["digest"]
+        assert proc["deliveries"] == serial["deliveries"]
+        assert proc["events_processed"] == serial["events_processed"]
+        assert proc["network_bytes"] == serial["network_bytes"]
+        assert proc["network_packets"] == serial["network_packets"]
+        assert proc["mode"] == "proc:2" or "fallback" in proc
+
+    @pytest.mark.slow
+    def test_four_workers_and_inproc_match_serial(self):
+        serial = run_scale(SPEC)
+        for kwargs in ({"shards": 4}, {"workers": 4}):
+            other = run_scale(SPEC, **kwargs)
+            assert other["digest"] == serial["digest"], kwargs
+
+    @pytest.mark.slow
+    def test_bench_scale_gates_on_digest(self):
+        report = bench_scale(quick_spec(SPEC), worker_counts=(1, 2))
+        assert report["equivalent"] is True
+        assert report["mismatched_arms"] == []
+        modes = [arm["mode"] for arm in report["arms"]]
+        assert modes[0] == "serial"
+        assert "proc:2" in modes
+        for arm in report["arms"]:
+            assert arm["digest_match"] is True
+            assert arm["wall_s"] >= 0
+            assert arm["deliveries"] == report["deliveries"]
+
+
+class TestScaleCli:
+    @pytest.mark.slow
+    def test_cli_quick_writes_gated_report(self, tmp_path):
+        out = tmp_path / "BENCH_scale.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "scale",
+                "--quick",
+                "--workers",
+                "1,2",
+                "--players",
+                "64",
+                "--regions",
+                "4",
+                "--access-per-region",
+                "2",
+                "--updates",
+                "80",
+                "--out",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent.parent,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        assert report["equivalent"] is True
+        assert "serial" in [arm["mode"] for arm in report["arms"]]
+
+
+def test_quick_spec_shrinks_but_keeps_structure():
+    big = ScaleSpec(players=10_000, regions=4, access_per_region=8, updates=5_000)
+    small = quick_spec(big)
+    assert small.players == 200
+    assert small.updates == 200
+    assert small.regions == big.regions
+    assert small.seed == big.seed
