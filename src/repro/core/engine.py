@@ -476,11 +476,26 @@ class GCopssNetworkBuilder:
     (RP -> shortest-path face), and marks the RP routers.  This models the
     converged state after initial FIB-add propagation, which the paper's
     testbed also configures ahead of time.
+
+    ``next_hops`` optionally overrides route computation: a
+    ``{router name: {rp name: next hop name}}`` table used verbatim
+    instead of asking the network for shortest paths.  Callers that build
+    the same topology in several processes (the sharded scale scenario)
+    pass a table computed as a pure function of their spec, so every
+    process installs identical routes even when equal-cost ties exist —
+    networkx tie-breaking depends on graph insertion order, which a
+    partial build cannot reproduce.
     """
 
-    def __init__(self, network: Network, rp_table: RpTable) -> None:
+    def __init__(
+        self,
+        network: Network,
+        rp_table: RpTable,
+        next_hops: Optional[Dict[str, Dict[str, str]]] = None,
+    ) -> None:
         self.network = network
         self.rp_table = rp_table
+        self.next_hops = next_hops
 
     def routers(self) -> List[GCopssRouter]:
         return [
@@ -504,7 +519,10 @@ class GCopssNetworkBuilder:
             for rp_name in rp_names:
                 if rp_name == router.name:
                     continue
-                next_hop = self.network.next_hop(router.name, rp_name)
+                if self.next_hops is not None:
+                    next_hop = self.network.nodes[self.next_hops[router.name][rp_name]]
+                else:
+                    next_hop = self.network.next_hop(router.name, rp_name)
                 router.rp_route[rp_name] = router.face_toward(next_hop)
         for prefix, rp_name in self.rp_table:
             rp_router = self.network.nodes[rp_name]

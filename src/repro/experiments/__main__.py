@@ -130,28 +130,50 @@ def _cmd_scale(args: argparse.Namespace) -> None:
     if args.quick:
         spec = quick_spec(spec)
     worker_counts = tuple(int(x) for x in args.workers.split(","))
-    report = bench_scale(spec, worker_counts=worker_counts)
+    curve_arg = args.curve
+    if curve_arg is None:
+        # Quick runs are smoke tests; the full sweep gets the curve.
+        curve_arg = "" if args.quick else "100,1000,10000"
+    curve_players = tuple(int(x) for x in curve_arg.split(",") if x.strip())
+    report = bench_scale(
+        spec, worker_counts=worker_counts, curve_players=curve_players
+    )
     out = Path(args.out) if args.out else Path("BENCH_scale.json")
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    rows = [
-        (
-            a["mode"],
-            a["workers"],
-            a["wall_s"],
-            a["speedup"],
-            a["deliveries"],
-            "OK" if a["digest_match"] else "MISMATCH",
-        )
-        for a in report["arms"]
-    ]
+
+    def _arm_rows(arms):
+        return [
+            (
+                a["mode"],
+                a["shards"],
+                a["workers"],
+                a["wall_s"],
+                a["speedup"],
+                a["deliveries"],
+                "OK" if a["digest_match"] else "MISMATCH",
+            )
+            for a in arms
+        ]
+
+    headings = ("mode", "shards", "workers", "wall s", "speedup", "deliveries", "digest")
     print(
         render_table(
             f"Scale: {report['spec']['players']} players, "
-            f"{report['spec']['updates']} updates (digest-gated)",
-            ("mode", "workers", "wall s", "speedup", "deliveries", "digest"),
-            rows,
+            f"{report['spec']['updates']} updates (digest-gated, "
+            f"{report['host']['cpus_usable']} usable cpus)",
+            headings,
+            _arm_rows(report["arms"]),
         )
     )
+    for point in report.get("curve", []):
+        print()
+        print(
+            render_table(
+                f"Curve point: {point['players']} players",
+                headings,
+                _arm_rows(point["arms"]),
+            )
+        )
     print(f"serial digest {report['serial_digest'][:16]}…  -> {out}")
     if not report["equivalent"]:
         print(f"DIGEST MISMATCH in arms: {report['mismatched_arms']}")
@@ -327,6 +349,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="output path (default: BENCH_scale.json at repo root)")
     p.add_argument("--quick", action="store_true",
                    help="shrink to <=200 players / <=200 updates for smoke tests")
+    p.add_argument("--curve", type=str, default=None,
+                   help="comma-separated player counts for the speedup-vs-players "
+                        "curve (default 100,1000,10000; skipped under --quick; "
+                        "pass '' to skip explicitly)")
 
     p = sub.add_parser(
         "chaos", help="fault-injection delivery-invariant check (lossless handover)"

@@ -8,6 +8,19 @@ cross-shard link delay, any event executing in ``[T, T+W)`` can influence
 another shard no earlier than ``T+W``, so each window runs with zero
 coordination and cross-shard packets are exchanged at the barriers.
 
+Windows are **adaptive**: the fixed ``W`` is only the floor.  Each shard
+also derives an earliest-output-time bound from its pending events — the
+time of each event plus its node's delay-distance to the nearest shard
+boundary (:meth:`~repro.sim.engine.Simulator.earliest_output_bound`, a
+conditional-lookahead / null-message-style estimate) — and every shard
+runs to the max of ``next + W`` and the minimum bound across shards.
+Shards whose boundary queues are quiet thereby batch many base windows
+per barrier.  Window placement cannot change the digest: barriers only
+decide *when* transit messages are injected, and injected arrivals are
+(re)ordered purely by ``(arrival time, sender rank, sender send order)``
+— a window-independent key (see the determinism argument below and
+ARCHITECTURE.md §6).
+
 **Determinism argument** (why serial and sharded runs are bit-identical):
 
 1. The engine heap orders events by ``(time, origin, seq)`` where
@@ -174,6 +187,9 @@ class ShardedExecutor:
         self.network = network
         self.plan = plan
         self.lookahead_ms = plan.lookahead_ms(network)
+        #: Per shard: node rank → delay distance to the nearest boundary
+        #: egress (boundary link included) — the adaptive-lookahead input.
+        self._shard_dists = plan.boundary_distances(network)
         self.shard_sims: List[Simulator] = [
             Simulator() for _ in range(plan.num_shards)
         ]
@@ -257,14 +273,16 @@ class ShardedExecutor:
         is the serial engine's tie order for external events.
         """
         sim = self.shard_sims[self.plan.assignment[node]]
-        sim.schedule_at(time, callback, *args)
+        # schedule_at_node keeps EXTERNAL_ORIGIN ordering but records the
+        # target node as the event's locus, so the adaptive lookahead can
+        # credit the event with the node's real distance-to-boundary.
+        sim.schedule_at_node(time, self.network.nodes[node].rank, callback, *args)
 
     # ------------------------------------------------------------------
     # Window loop
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
         """Advance every shard to ``until`` (or drain all heaps if None)."""
-        lookahead = self.lookahead_ms
         while True:
             next_time = self._peek()
             if next_time is None:
@@ -274,18 +292,16 @@ class ShardedExecutor:
             if until is not None and next_time > until:
                 self._advance_idle(until)
                 return
-            if lookahead == float("inf"):
-                # No boundary links: the shards are fully independent, so
-                # one unsynchronized pass suffices (and `next_time + W`
-                # would push the clocks to infinity).
+            bound = self._adaptive_horizon(next_time)
+            if bound is None or (until is not None and bound > until):
+                # No shard can influence another before `until` (or ever:
+                # boundary-less plans, or no pending event reaches a
+                # boundary) — one inclusive pass to the horizon suffices,
+                # matching the serial engine's `until` semantics.
                 horizon: Optional[float] = until
                 inclusive = True
-            elif until is not None and next_time + lookahead > until:
-                # Final (partial) window: the horizon itself is inclusive,
-                # matching the serial engine's `until` semantics.
-                horizon, inclusive = until, True
             else:
-                horizon, inclusive = next_time + lookahead, False
+                horizon, inclusive = bound, False
             for sim in self.shard_sims:
                 self._active_sim = sim
                 sim.run(until=horizon, inclusive=inclusive)
@@ -294,6 +310,25 @@ class ShardedExecutor:
             self.windows_run += 1
             if inclusive and not self._outbox and self._peek_over(until):
                 return
+
+    def _adaptive_horizon(self, next_time: float) -> Optional[float]:
+        """The widest provably-safe exclusive window start at ``next_time``.
+
+        ``next_time + W`` (the fixed conservative window) is always sound;
+        the earliest-output-time bound across shards is also sound and
+        usually much wider, so take the max.  ``None`` means no pending
+        event can ever cross a shard boundary — the caller then runs one
+        unsynchronized inclusive pass.
+        """
+        if self.lookahead_ms == float("inf"):
+            return None
+        eot = min(
+            sim.earliest_output_bound(dist)
+            for sim, dist in zip(self.shard_sims, self._shard_dists)
+        )
+        if eot == float("inf"):
+            return None
+        return max(next_time + self.lookahead_ms, eot)
 
     def _peek(self) -> Optional[float]:
         times = [t for t in (sim.peek_time() for sim in self.shard_sims) if t is not None]

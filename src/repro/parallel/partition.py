@@ -92,6 +92,59 @@ class ShardPlan:
             )
         return lookahead
 
+    def boundary_distances(self, network: "Network") -> List[Dict[int, float]]:
+        """Per shard: node rank → delay-distance to the nearest boundary egress.
+
+        The distance runs over *in-shard* links only and includes the
+        boundary link's own delay, so it lower-bounds how long any event at
+        the node needs before it can influence another shard — the input to
+        :meth:`~repro.sim.engine.Simulator.earliest_output_bound`.  Nodes
+        that cannot reach any boundary (or shards with no boundary at all)
+        get ``inf``: their events never produce cross-shard traffic.
+        """
+        assignment = self.assignment
+        # Seed each shard's Dijkstra at its boundary egress nodes, with the
+        # boundary link delay already paid (min over parallel boundary links).
+        seeds: List[Dict[str, float]] = [{} for _ in range(self.num_shards)]
+        for link in self.boundary_links(network):
+            (a, _), (b, _) = link._ends
+            for node in (a, b):
+                shard = assignment[node.name]
+                prior = seeds[shard].get(node.name)
+                if prior is None or link.delay < prior:
+                    seeds[shard][node.name] = link.delay
+        # In-shard adjacency (name → [(neighbor, delay)]).
+        adjacency: Dict[str, List[Tuple[str, float]]] = {
+            name: [] for name in network.nodes
+        }
+        for link in network.links:
+            (a, _), (b, _) = link._ends
+            if assignment[a.name] == assignment[b.name]:
+                adjacency[a.name].append((b.name, link.delay))
+                adjacency[b.name].append((a.name, link.delay))
+        result: List[Dict[int, float]] = []
+        for shard in range(self.num_shards):
+            dist: Dict[str, float] = {}
+            heap = [(d, name) for name, d in sorted(seeds[shard].items())]
+            heapq.heapify(heap)
+            while heap:
+                d, name = heapq.heappop(heap)
+                if name in dist:
+                    continue
+                dist[name] = d
+                for neighbor, delay in adjacency[name]:
+                    if neighbor not in dist:
+                        heapq.heappush(heap, (d + delay, neighbor))
+            inf = float("inf")
+            result.append(
+                {
+                    node.rank: dist.get(name, inf)
+                    for name, node in network.nodes.items()
+                    if assignment[name] == shard
+                }
+            )
+        return result
+
     def annotate_roles(self, network: "Network") -> None:
         """Stamp shard ownership onto every attached role.
 

@@ -1,85 +1,67 @@
 """One OS process per shard: the same windows, actual parallelism.
 
 The in-process :class:`~repro.parallel.executor.ShardedExecutor` proves
-the synchronization algorithm; this module runs it for real.  Each
-worker builds a **full replica** of the scale world from the spec —
-construction is a pure function of the spec, so every replica agrees on
-node ranks, routes and the workload — then rebinds *its* shard's nodes
-onto a local event loop and executes only those.  Cross-shard sends
-leave through a boundary proxy as plain ``(time, sender rank, send
-order, dst, src, packet)`` tuples; the coordinator merges and routes
-them at each window barrier, exactly like the in-process barrier, so
-all three modes produce identical transit traffic and identical
-delivery digests.
+the synchronization algorithm; this module runs it for real.  Three
+design points separate it from the naive port:
 
-Replication beats ghost-node surgery here: the topology is a few dozen
-routers plus hosts, so the memory cost is trivial, and replica ranks
-being *identical by construction* is what makes the (time, origin, seq)
-total order well-defined across processes with zero coordination.
+**Spec-sliced workers.**  Each worker builds only *its shard's slice* of
+the world — shard nodes and links plus stub far-ends for boundary links
+(:func:`repro.parallel.slicing.build_scale_shard`).  Ranks, face ids and
+routes are reproduced from the spec in closed form, so the
+``(time, origin, seq)`` total order is still well-defined across
+processes with zero coordination, without anyone paying for a 10⁴-node
+replica build (the old protocol built N+1 of them).  The coordinator
+itself builds *nothing*: plan, lookahead and boundary distances all come
+from the spec (:func:`scale_plan_fast` and friends).
 
-Packet uids are drawn from per-worker disjoint ranges (worker *i*
-counts from ``(i+1) << 48``) so dedup-by-uid never confuses two
-distinct packets born in different processes.  The uid *values* differ
-from a serial run, but uids only ever feed identity checks — observable
-behavior is value-independent.
+**Packed binary batches.**  Cross-shard packets leave through a boundary
+proxy as ``(time, sender rank, send order, dst, src, packet)`` records,
+batched into one :mod:`repro.parallel.wire` frame per (shard, barrier)
+over ``Connection.send_bytes`` — no per-packet pickling anywhere on the
+transit path (tests enforce this by poisoning ``Connection.send``).  The
+barrier protocol is a single round trip: the coordinator's ``RUN`` frame
+piggybacks the injections routed at the previous barrier.
+
+**Adaptive lookahead.**  Every ``DONE`` frame reports the worker's
+earliest-output-time bound
+(:meth:`~repro.sim.engine.Simulator.earliest_output_bound`); the
+coordinator extends in-flight injections by their destination's
+distance-to-boundary, takes the global minimum, and runs the next window
+to ``max(next + W, min EOT)`` — identical horizons to the in-process
+executor, so shards with quiet boundary queues batch many base windows
+per barrier.
+
+Packet uids and Interest nonces are drawn from per-worker disjoint
+ranges (worker *i* counts from ``(i+1) << 48``) so dedup-by-uid never
+confuses two distinct packets born in different processes.  The uid
+*values* differ from a serial run, but uids only ever feed identity
+checks — observable behavior is value-independent.
 """
 
 from __future__ import annotations
 
 import itertools
 import multiprocessing
-from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.parallel.digest import DeliveryLog, delivery_digest
-from repro.parallel.partition import ShardPlan
+from repro.parallel import wire
+from repro.parallel.digest import DeliveryLog
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parallel.scale import ScaleSpec
-    from repro.sim.network import Network
 
 __all__ = ["run_scale_proc"]
 
-#: (arrival_time, sender_rank, send_order, dst_node, src_node, packet)
-_WireMsg = Tuple[float, int, int, str, str, Any]
-
-
-class _PoisonClock:
-    """Bound to replica nodes outside this worker's shard.
-
-    Those replicas exist only so construction (ranks, routes, faces)
-    matches the serial world; executing anything on them means shard
-    containment broke, so every use fails loudly.
-    """
-
-    __slots__ = ("_shard",)
-
-    def __init__(self, shard: int) -> None:
-        self._shard = shard
-
-    def _refuse(self, *args: Any, **kwargs: Any) -> None:
-        raise RuntimeError(
-            f"worker {self._shard} touched a node outside its shard; "
-            "shard containment is broken"
-        )
-
-    schedule = _refuse
-    schedule_at = _refuse
-    schedule_link = _refuse
-
-    @property
-    def now(self) -> float:
-        self._refuse()
-
 
 class _EgressProxy:
-    """``link.sim`` for this worker's boundary links: sends become tuples."""
+    """``link.sim`` for this worker's boundary links: sends become records."""
 
     __slots__ = ("sim", "outbox", "_seq")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self.outbox: List[_WireMsg] = []
+        self.outbox: List[wire.WireMsg] = []
         self._seq = 0
 
     @property
@@ -90,9 +72,9 @@ class _EgressProxy:
         self, delay: float, sort_origin: int, exec_origin: int, callback, *args
     ) -> None:
         # Boundary egress only ever comes from Face.send: callback is the
-        # foreign replica's bound ``receive``, args are (packet, its face);
-        # the face's peer is the local sender.  Reduced to names so the
-        # tuple crosses the process boundary.
+        # stub's bound ``receive``, args are (packet, the stub's face); the
+        # face's peer is the local sender.  Reduced to names so the record
+        # crosses the process boundary.
         packet, dst_face = args
         seq = self._seq
         self._seq = seq + 1
@@ -107,104 +89,112 @@ class _EgressProxy:
             )
         )
 
-    def drain(self) -> List[_WireMsg]:
+    def schedule(self, delay: float, callback, *args) -> None:
+        raise RuntimeError(
+            "cross-shard links carry packets only; node timers belong on "
+            "the node's own shard clock (node.sim)"
+        )
+
+    schedule_at = schedule
+
+    def drain(self) -> List[wire.WireMsg]:
         outbox, self.outbox = self.outbox, []
         return outbox
 
 
-def _bind_shard(network: "Network", plan: ShardPlan, shard: int) -> Tuple[Simulator, _EgressProxy]:
-    """Rebind one shard of a full replica onto a fresh local event loop."""
-    sim = Simulator()
-    egress = _EgressProxy(sim)
-    poison = _PoisonClock(shard)
-    assignment = plan.assignment
-    for node in network.nodes.values():
-        if assignment[node.name] == shard:
-            node.sim = sim
-            queue = getattr(node, "queue", None)
-            if queue is not None:
-                queue.sim = sim
-        else:
-            node.sim = poison
-    for link in network.links:
-        (a, _), (b, _) = link._ends
-        sa, sb = assignment[a.name], assignment[b.name]
-        if sa == shard and sb == shard:
-            link.sim = sim
-        elif sa == shard or sb == shard:
-            link.sim = egress
-        else:
-            link.sim = poison
-    return sim, egress
-
-
 def _worker_main(conn, spec: "ScaleSpec", shard: int, num_shards: int) -> None:
-    """One shard's event loop, driven by coordinator messages."""
+    """One shard's event loop, driven by coordinator frames."""
+    import repro.ndn.packets as ndn_packets
     import repro.packets as packets_mod
 
-    from repro.parallel.scale import (
-        build_scale_world,
-        scale_events,
-        scale_plan,
-        _publish,
+    from repro.parallel.scale import _publish, scale_events
+    from repro.parallel.slicing import (
+        build_scale_shard,
+        scale_plan_fast,
+        shard_boundary_distances,
     )
 
-    # Disjoint uid range per worker: dedup-by-uid stays collision-free
-    # across processes (uids born here can meet uids born elsewhere).
+    # Disjoint uid/nonce ranges per worker: dedup-by-uid and PIT nonce
+    # checks stay collision-free across processes.
     packets_mod._packet_ids = itertools.count((shard + 1) << 48)
+    ndn_packets._nonces = itertools.count(((shard + 1) << 48) + 1)
 
-    world = build_scale_world(spec)
-    plan = scale_plan(world.network, spec, num_shards)
-    sim, egress = _bind_shard(world.network, plan, shard)
+    plan = scale_plan_fast(spec, num_shards)
+    world = build_scale_shard(spec, plan, shard)
+    network = world.network
+    sim = network.sim
+    egress = _EgressProxy(sim)
+    assignment = plan.assignment
+    for link in network.links:
+        (a, _), (b, _) = link._ends
+        if assignment[a.name] != assignment[b.name]:
+            link.sim = egress
+
+    nodes = network.nodes
+    dists = {
+        nodes[name].rank: dist
+        for name, dist in shard_boundary_distances(spec, plan, shard).items()
+    }
 
     log = DeliveryLog()
 
     def on_update(host, packet) -> None:
         log.record(packet.sequence, host.name, host.sim.now - packet.created_at)
 
-    mine = [
-        name for name in sorted(world.hosts) if plan.assignment[name] == shard
-    ]
-    for name in mine:
+    for name in sorted(world.hosts):
         host = world.hosts[name]
         host.on_update.append(on_update)
         host.subscribe(
             [spec.region_cd(world.host_region[name]), spec.world_cd]
         )
     for i, (time, player, cd) in enumerate(scale_events(spec)):
-        if plan.assignment[player] == shard:
-            sim.schedule_at(
-                time, _publish, world.hosts[player], cd, spec.payload_bytes, i
+        if assignment[player] == shard:
+            sim.schedule_at_node(
+                time,
+                nodes[player].rank,
+                _publish,
+                world.hosts[player],
+                cd,
+                spec.payload_bytes,
+                i,
             )
 
-    nodes = world.network.nodes
     try:
-        conn.send(("ready", sim.peek_time()))
+        conn.send_bytes(
+            wire.encode_ready(sim.peek_time(), sim.earliest_output_bound(dists))
+        )
         while True:
-            msg = conn.recv()
-            op = msg[0]
-            if op == "run":
-                _op, horizon, inclusive = msg
-                sim.run(until=horizon, inclusive=inclusive)
-                conn.send(("done", sim.peek_time(), egress.drain()))
-            elif op == "inject":
-                for time, sort_origin, _seq, dst_name, src_name, packet in msg[1]:
+            frame = conn.recv_bytes()
+            op = frame[0]
+            if op == wire.OP_RUN:
+                horizon, inclusive, msgs = wire.decode_run(frame)
+                # Injections ride the RUN frame, already in global
+                # (time, sender rank, send order) order; injection order
+                # fixes the receiver-side seq so same-key ties replay the
+                # sender's send order.
+                for time, sort_origin, _seq, dst_name, src_name, packet in msgs:
                     node = nodes[dst_name]
                     face = node.face_toward(nodes[src_name])
                     sim.schedule_arrival_at(
                         time, sort_origin, node.rank, node.receive, packet, face
                     )
-                conn.send(("ok", sim.peek_time()))
-            elif op == "finish":
-                conn.send(
-                    (
-                        "result",
+                sim.run(until=horizon, inclusive=inclusive)
+                conn.send_bytes(
+                    wire.encode_done(
+                        sim.peek_time(),
+                        sim.earliest_output_bound(dists),
+                        egress.drain(),
+                    )
+                )
+            elif op == wire.OP_FINISH:
+                conn.send_bytes(
+                    wire.encode_result(
                         {
                             "entries": log.entries,
                             "events_processed": sim.events_processed,
-                            "network_bytes": world.network.total_bytes,
-                            "network_packets": world.network.total_packets,
-                        },
+                            "network_bytes": network.total_bytes,
+                            "network_packets": network.total_packets,
+                        }
                     )
                 )
                 return
@@ -217,24 +207,31 @@ def _worker_main(conn, spec: "ScaleSpec", shard: int, num_shards: int) -> None:
 
 
 def run_scale_proc(spec: "ScaleSpec", workers: int) -> dict:
-    """Coordinate ``workers`` shard processes through lookahead windows.
+    """Coordinate ``workers`` shard processes through adaptive windows.
 
-    The coordinator mirrors :meth:`ShardedExecutor.run` exactly: pick the
-    earliest pending event across shards, run everyone to
-    ``next + lookahead`` (exclusive) or the horizon (inclusive), then
-    merge each worker's egress — sorted by ``(time, sender rank, send
-    order)`` — and inject per destination shard.  Falls back to the
+    The coordinator mirrors :meth:`ShardedExecutor.run`: pick the earliest
+    pending event across shards *and* in-flight injections, run everyone
+    to ``max(next + W, min EOT)`` (exclusive) or the horizon (inclusive),
+    and merge each worker's egress — sorted by ``(time, sender rank, send
+    order)`` — for injection on the next ``RUN``.  Falls back to the
     in-process executor when the platform cannot fork processes.
     """
-    from repro.parallel.scale import build_scale_world, execute_scale_local, scale_plan
+    from repro.parallel.scale import execute_scale_local
+    from repro.parallel.slicing import (
+        scale_plan_fast,
+        shard_boundary_distances,
+        spec_lookahead_ms,
+    )
 
     if workers < 2:
         raise ValueError(f"run_scale_proc needs >= 2 workers, got {workers}")
-    # A throwaway replica gives the coordinator the plan (message routing)
-    # and the lookahead without running anything.
-    reference = build_scale_world(spec)
-    plan = scale_plan(reference.network, spec, workers)
-    lookahead = plan.lookahead_ms(reference.network)
+    # Plan, lookahead and distance maps come straight from the spec — the
+    # coordinator never builds a world.
+    plan = scale_plan_fast(spec, workers)
+    lookahead = spec_lookahead_ms(spec, plan)
+    dist_of: Dict[str, float] = {}
+    for shard in range(workers):
+        dist_of.update(shard_boundary_distances(spec, plan, shard))
     until = spec.horizon_ms
 
     try:
@@ -262,58 +259,63 @@ def run_scale_proc(spec: "ScaleSpec", workers: int) -> dict:
             procs.append(proc)
 
         peeks: List[Optional[float]] = []
+        eots: List[float] = []
         for conn in conns:
-            tag, peek = conn.recv()
-            assert tag == "ready"
+            peek, eot = wire.decode_ready(conn.recv_bytes())
             peeks.append(peek)
+            eots.append(eot)
 
         windows = 0
         transit = 0
+        pending: List[wire.WireMsg] = []
         while True:
             times = [t for t in peeks if t is not None]
+            times.extend(msg[0] for msg in pending)
             next_time = min(times) if times else None
             if next_time is None or next_time > until:
                 break
-            if lookahead == float("inf") or next_time + lookahead > until:
+            if lookahead == float("inf"):
                 horizon, inclusive = until, True
             else:
-                horizon, inclusive = next_time + lookahead, False
-            for conn in conns:
-                conn.send(("run", horizon, inclusive))
-            merged: List[_WireMsg] = []
-            for i, conn in enumerate(conns):
-                tag, peek, outbox = conn.recv()
-                assert tag == "done"
-                peeks[i] = peek
-                merged.extend(outbox)
-            windows += 1
-            if merged:
-                transit += len(merged)
-                # Same sort key as the in-process barrier; ties at
-                # (time, origin) always come from one worker, whose local
-                # send order disambiguates them.
-                merged.sort(key=lambda m: (m[0], m[1], m[2]))
-                routed: List[List[_WireMsg]] = [[] for _ in range(workers)]
-                for msg in merged:
-                    routed[plan.assignment[msg[3]]].append(msg)
-            else:
-                routed = [[] for _ in range(workers)]
+                # Global earliest-output bound: each worker's post-run
+                # estimate, plus in-flight injections extended by their
+                # destination's distance-to-boundary.
+                eot = min(eots)
+                for msg in pending:
+                    bound = msg[0] + dist_of[msg[3]]
+                    if bound < eot:
+                        eot = bound
+                target = max(next_time + lookahead, eot)
+                if target > until:
+                    horizon, inclusive = until, True
+                else:
+                    horizon, inclusive = target, False
+            # Same sort key as the in-process barrier; ties at
+            # (time, origin) always come from one worker, whose local
+            # send order disambiguates them.
+            pending.sort(key=lambda m: (m[0], m[1], m[2]))
+            routed: List[List[wire.WireMsg]] = [[] for _ in range(workers)]
+            for msg in pending:
+                routed[plan.assignment[msg[3]]].append(msg)
+            pending = []
             for conn, msgs in zip(conns, routed):
-                conn.send(("inject", msgs))
+                conn.send_bytes(wire.encode_run(horizon, inclusive, msgs))
             for i, conn in enumerate(conns):
-                tag, peek = conn.recv()
-                assert tag == "ok"
+                peek, eot, outbox = wire.decode_done(conn.recv_bytes())
                 peeks[i] = peek
+                eots[i] = eot
+                pending.extend(outbox)
+            windows += 1
+            transit += len(pending)
 
         log = DeliveryLog()
         events_processed = 0
         network_bytes = 0
         network_packets = 0
         for conn in conns:
-            conn.send(("finish",))
-            tag, result = conn.recv()
-            assert tag == "result"
-            log.entries.extend(result["entries"])
+            conn.send_bytes(wire.encode_finish())
+            result = wire.decode_result(conn.recv_bytes())
+            log.entries.extend(tuple(entry) for entry in result["entries"])
             events_processed += result["events_processed"]
             network_bytes += result["network_bytes"]
             network_packets += result["network_packets"]
@@ -325,6 +327,7 @@ def run_scale_proc(spec: "ScaleSpec", workers: int) -> dict:
             "network_packets": network_packets,
             "executor": {
                 "shards": workers,
+                "workers": workers,
                 "lookahead_ms": lookahead,
                 "windows_run": windows,
                 "transit_messages": transit,

@@ -44,6 +44,7 @@ __all__ = [
     "scale_plan",
     "run_scale",
     "bench_scale",
+    "scale_curve",
 ]
 
 
@@ -150,7 +151,12 @@ def build_scale_world(spec: ScaleSpec):
     for r in range(spec.regions):
         rp_table.assign(spec.region_cd(r), f"core{r}")
     rp_table.assign(spec.world_cd, "core0")
-    GCopssNetworkBuilder(network, rp_table).install()
+    # Routes come from the spec-level table shared with the slice builder
+    # (repro.parallel.slicing): equal-cost ties must resolve identically
+    # whether a process holds the whole world or one shard's slice.
+    from repro.parallel.slicing import scale_routes
+
+    GCopssNetworkBuilder(network, rp_table, next_hops=scale_routes(spec)).install()
     return ScaleWorld(
         network=network, hosts=hosts, host_region=host_region, cores=cores
     )
@@ -256,10 +262,49 @@ def run_scale(spec: ScaleSpec, shards: int = 1, workers: int = 1) -> dict:
     return result
 
 
+def _host_info() -> dict:
+    """Record where the numbers came from; speedups are meaningless without it."""
+    import os
+
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        usable = os.cpu_count() or 1
+    return {"cpus": os.cpu_count() or 1, "cpus_usable": usable}
+
+
+def _timed_arm(spec: ScaleSpec, shards: int, workers: int, baseline: dict) -> dict:
+    """Run one mode and report it against the serial baseline.
+
+    ``shards`` and ``workers`` are recorded separately: an in-process arm
+    partitions the event loop into N shard clocks but still runs on one
+    worker, while a proc arm pairs each shard with its own OS process.
+    """
+    import time as _time
+
+    t0 = _time.perf_counter()
+    result = run_scale(spec, shards=shards, workers=workers)
+    wall = _time.perf_counter() - t0
+    serial_wall = baseline.get("wall_s", wall)
+    return {
+        "mode": result["mode"],
+        "shards": shards,
+        "workers": 1 if workers <= 1 else workers,
+        "wall_s": round(wall, 3),
+        "deliveries": result["deliveries"],
+        "digest": result["digest"],
+        "speedup": round(serial_wall / wall, 3) if wall else None,
+        "digest_match": result["digest"] == baseline.get("digest", result["digest"]),
+        "windows_run": result["executor"].get("windows_run"),
+        "transit_messages": result["executor"].get("transit_messages"),
+    }
+
+
 def bench_scale(
     spec: ScaleSpec,
     worker_counts: Tuple[int, ...] = (1, 2, 4),
     check_inproc: bool = True,
+    curve_players: Tuple[int, ...] = (),
 ) -> dict:
     """Speedup-vs-workers sweep with the equivalence gates attached.
 
@@ -267,60 +312,23 @@ def bench_scale(
     speedup number is reported — a parallel executor that is fast but
     wrong is worthless.  ``workers=1`` arms run serially (the baseline);
     ``check_inproc`` also runs the in-process sharded executor at the
-    largest worker count as an algorithm check.
+    largest worker count as an algorithm check.  ``curve_players`` adds a
+    speedup-vs-players curve (serial/inproc/proc per point) to the
+    report.
     """
-    import time as _time
-
-    t0 = _time.perf_counter()
-    serial = run_scale(spec, shards=1, workers=1)
-    serial_wall = _time.perf_counter() - t0
-    arms = [
-        {
-            "mode": serial["mode"],
-            "workers": 1,
-            "wall_s": round(serial_wall, 3),
-            "deliveries": serial["deliveries"],
-            "digest": serial["digest"],
-            "speedup": 1.0,
-            "digest_match": True,
-        }
-    ]
-    if check_inproc:
-        shards = max(w for w in worker_counts if w <= spec.regions)
-        if shards > 1:
-            t0 = _time.perf_counter()
-            inproc = run_scale(spec, shards=shards, workers=1)
-            wall = _time.perf_counter() - t0
-            arms.append(
-                {
-                    "mode": inproc["mode"],
-                    "workers": 1,
-                    "wall_s": round(wall, 3),
-                    "deliveries": inproc["deliveries"],
-                    "digest": inproc["digest"],
-                    "speedup": round(serial_wall / wall, 3) if wall else None,
-                    "digest_match": inproc["digest"] == serial["digest"],
-                }
-            )
+    baseline = _timed_arm(spec, shards=1, workers=1, baseline={})
+    baseline["speedup"] = 1.0
+    arms = [baseline]
+    shards = max(w for w in worker_counts if w <= spec.regions)
+    if check_inproc and shards > 1:
+        arms.append(_timed_arm(spec, shards=shards, workers=1, baseline=baseline))
     for workers in worker_counts:
-        if workers <= 1:
-            continue
-        t0 = _time.perf_counter()
-        result = run_scale(spec, workers=workers)
-        wall = _time.perf_counter() - t0
-        arms.append(
-            {
-                "mode": result["mode"],
-                "workers": workers,
-                "wall_s": round(wall, 3),
-                "deliveries": result["deliveries"],
-                "digest": result["digest"],
-                "speedup": round(serial_wall / wall, 3) if wall else None,
-                "digest_match": result["digest"] == serial["digest"],
-            }
-        )
+        if workers > 1:
+            arms.append(
+                _timed_arm(spec, shards=workers, workers=workers, baseline=baseline)
+            )
     mismatched = [a["mode"] for a in arms if not a["digest_match"]]
-    return {
+    report = {
         "spec": {
             "players": spec.players,
             "regions": spec.regions,
@@ -329,12 +337,58 @@ def bench_scale(
             "seed": spec.seed,
             "world_fraction": spec.world_fraction,
         },
-        "serial_digest": serial["digest"],
-        "deliveries": serial["deliveries"],
+        "host": _host_info(),
+        "serial_digest": baseline["digest"],
+        "deliveries": baseline["deliveries"],
         "arms": arms,
         "equivalent": not mismatched,
         "mismatched_arms": mismatched,
     }
+    if curve_players:
+        curve = scale_curve(spec, player_counts=curve_players, workers=shards)
+        report["curve"] = curve
+        for point in curve:
+            if not point["equivalent"]:
+                report["equivalent"] = False
+                report["mismatched_arms"].extend(
+                    f"players={point['players']}:{mode}"
+                    for mode in point["mismatched_arms"]
+                )
+    return report
+
+
+def scale_curve(
+    spec: ScaleSpec,
+    player_counts: Tuple[int, ...] = (100, 1_000, 10_000),
+    workers: int = 4,
+) -> List[dict]:
+    """Speedup vs world size: serial / inproc / proc arms per player count.
+
+    Holds the workload (updates, seed, fractions) fixed and sweeps only
+    the population, so the curve isolates how the slice-built parallel
+    modes amortize the world as it grows.
+    """
+    workers = max(2, min(workers, spec.regions))
+    points: List[dict] = []
+    for players in player_counts:
+        pspec = replace(spec, players=max(players, spec.regions))
+        baseline = _timed_arm(pspec, shards=1, workers=1, baseline={})
+        baseline["speedup"] = 1.0
+        arms = [
+            baseline,
+            _timed_arm(pspec, shards=workers, workers=1, baseline=baseline),
+            _timed_arm(pspec, shards=workers, workers=workers, baseline=baseline),
+        ]
+        mismatched = [a["mode"] for a in arms if not a["digest_match"]]
+        points.append(
+            {
+                "players": pspec.players,
+                "arms": arms,
+                "equivalent": not mismatched,
+                "mismatched_arms": mismatched,
+            }
+        )
+    return points
 
 
 def quick_spec(spec: ScaleSpec) -> ScaleSpec:

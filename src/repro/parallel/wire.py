@@ -1,0 +1,372 @@
+"""Packed binary wire format for cross-shard worker exchange.
+
+The first multiprocess executor shipped every cross-shard packet as a
+pickled ``(time, rank, order, dst, src, packet)`` tuple — one pickle
+header, one class lookup and one object graph walk *per packet per
+barrier*.  This module replaces that with a fixed-layout
+``struct``-packed format: the coordinator and each worker exchange **one
+``send_bytes`` frame per (shard, barrier)** containing the whole batch,
+and nothing on the transit path ever touches :mod:`pickle` (the test
+suite enforces this by making ``Connection.send`` explode).
+
+Layout (all little-endian):
+
+* **frame** = 1-byte op (``RUN``/``DONE``/``READY``/``FINISH``/``RESULT``)
+  followed by op-specific fields;
+* ``RUN`` = ``horizon f64, inclusive u8, count u32`` then ``count``
+  transit messages — the coordinator piggybacks the barrier's injections
+  on the next window command, halving the old two-RTT protocol;
+* ``DONE``/``READY`` = ``peek (u8 flag + f64), eot f64, count u32`` plus
+  the worker's drained outbox (``READY`` carries no messages);
+* **transit message** = ``arrival f64, sender rank i32, send order u32``,
+  two length-prefixed node names, then the packet;
+* **packet** = a 1-byte class id from :data:`PACKET_TYPES` plus each
+  dataclass field as a tagged value.  Field values cover everything the
+  protocol stack puts in packets: scalars, names (canonical text),
+  tuples/lists/dicts, bytes, and *nested packets* (RP-tunnel Interests
+  carry a Multicast in ``payload``).  ``uid``, ``nonce``, ``size`` and
+  ``created_at`` are carried explicitly, so decoding neither draws from
+  the process-local id counters nor re-derives sizes — trace identity
+  (``trace_id_of`` keys off uids) and byte accounting survive the hop
+  bit-exactly.
+
+Unencodable values fail loudly with the offending type: silently falling
+back to pickle would un-fix the exact problem this module exists to fix.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import fields as _dataclass_fields
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.core.packets import (
+    CdHandoffPacket,
+    ConfirmPacket,
+    FibAddPacket,
+    FibRemovePacket,
+    JoinPacket,
+    LeavePacket,
+    MulticastPacket,
+    SubscribePacket,
+    UnsubscribePacket,
+)
+from repro.names import Name
+from repro.ndn.packets import Data, Interest
+from repro.packets import Packet
+
+__all__ = [
+    "PACKET_TYPES",
+    "WireMsg",
+    "OP_READY",
+    "OP_RUN",
+    "OP_DONE",
+    "OP_FINISH",
+    "OP_RESULT",
+    "encode_value",
+    "decode_value",
+    "encode_packet",
+    "decode_packet",
+    "encode_ready",
+    "decode_ready",
+    "encode_run",
+    "decode_run",
+    "encode_done",
+    "decode_done",
+    "encode_finish",
+    "encode_result",
+    "decode_result",
+]
+
+#: (arrival_time, sender_rank, send_order, dst_node, src_node, packet)
+WireMsg = Tuple[float, int, int, str, str, Any]
+
+#: Every packet class that can cross a shard boundary, in wire-id order.
+#: Order is the wire format — append only.
+PACKET_TYPES: Tuple[Type[Packet], ...] = (
+    Packet,
+    Interest,
+    Data,
+    SubscribePacket,
+    UnsubscribePacket,
+    MulticastPacket,
+    FibAddPacket,
+    FibRemovePacket,
+    CdHandoffPacket,
+    JoinPacket,
+    ConfirmPacket,
+    LeavePacket,
+)
+_TYPE_ID: Dict[Type[Packet], int] = {cls: i for i, cls in enumerate(PACKET_TYPES)}
+#: Dataclass field names per type, base fields (size, created_at, uid)
+#: first — the per-class wire schema.
+_FIELDS: Dict[Type[Packet], Tuple[str, ...]] = {
+    cls: tuple(f.name for f in _dataclass_fields(cls)) for cls in PACKET_TYPES
+}
+
+OP_READY, OP_RUN, OP_DONE, OP_FINISH, OP_RESULT = range(5)
+
+# Value tags.
+_T_NONE, _T_TRUE, _T_FALSE, _T_INT, _T_FLOAT, _T_STR = range(6)
+_T_BYTES, _T_NAME, _T_TUPLE, _T_LIST, _T_DICT, _T_PACKET = range(6, 12)
+
+_Q = struct.Struct("<q")
+_D = struct.Struct("<d")
+_I = struct.Struct("<I")
+_MSG_HEAD = struct.Struct("<diI")
+_RUN_HEAD = struct.Struct("<dBI")
+_DONE_HEAD = struct.Struct("<BddI")
+
+
+# ----------------------------------------------------------------------
+# Tagged values
+# ----------------------------------------------------------------------
+def encode_value(buf: bytearray, value: Any) -> None:
+    """Append one tagged value to ``buf``."""
+    if value is None:
+        buf.append(_T_NONE)
+    elif value is True:
+        buf.append(_T_TRUE)
+    elif value is False:
+        buf.append(_T_FALSE)
+    elif isinstance(value, int):
+        buf.append(_T_INT)
+        buf += _Q.pack(value)
+    elif isinstance(value, float):
+        buf.append(_T_FLOAT)
+        buf += _D.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        buf.append(_T_STR)
+        buf += _I.pack(len(raw))
+        buf += raw
+    elif isinstance(value, bytes):
+        buf.append(_T_BYTES)
+        buf += _I.pack(len(value))
+        buf += value
+    elif isinstance(value, Name):
+        raw = str(value).encode("utf-8")
+        buf.append(_T_NAME)
+        buf += _I.pack(len(raw))
+        buf += raw
+    elif isinstance(value, tuple):
+        buf.append(_T_TUPLE)
+        buf += _I.pack(len(value))
+        for item in value:
+            encode_value(buf, item)
+    elif isinstance(value, list):
+        buf.append(_T_LIST)
+        buf += _I.pack(len(value))
+        for item in value:
+            encode_value(buf, item)
+    elif isinstance(value, dict):
+        buf.append(_T_DICT)
+        buf += _I.pack(len(value))
+        for key, item in value.items():
+            encode_value(buf, key)
+            encode_value(buf, item)
+    elif isinstance(value, Packet):
+        buf.append(_T_PACKET)
+        encode_packet(buf, value)
+    else:
+        raise TypeError(
+            f"cannot wire-encode {type(value).__name__}: {value!r} — "
+            "extend repro.parallel.wire rather than falling back to pickle"
+        )
+
+
+def decode_value(buf, offset: int) -> Tuple[Any, int]:
+    """Decode one tagged value at ``offset``; returns (value, new offset)."""
+    tag = buf[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        return _Q.unpack_from(buf, offset)[0], offset + 8
+    if tag == _T_FLOAT:
+        return _D.unpack_from(buf, offset)[0], offset + 8
+    if tag in (_T_STR, _T_NAME, _T_BYTES):
+        (length,) = _I.unpack_from(buf, offset)
+        offset += 4
+        raw = bytes(buf[offset : offset + length])
+        offset += length
+        if tag == _T_BYTES:
+            return raw, offset
+        text = raw.decode("utf-8")
+        return (Name.parse(text) if tag == _T_NAME else text), offset
+    if tag in (_T_TUPLE, _T_LIST):
+        (count,) = _I.unpack_from(buf, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = decode_value(buf, offset)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), offset
+    if tag == _T_DICT:
+        (count,) = _I.unpack_from(buf, offset)
+        offset += 4
+        out: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, offset = decode_value(buf, offset)
+            value, offset = decode_value(buf, offset)
+            out[key] = value
+        return out, offset
+    if tag == _T_PACKET:
+        return decode_packet(buf, offset)
+    raise ValueError(f"corrupt wire frame: unknown value tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Packets
+# ----------------------------------------------------------------------
+def encode_packet(buf: bytearray, packet: Packet) -> None:
+    """Append ``packet`` as ``class_id + tagged field values``."""
+    cls = type(packet)
+    type_id = _TYPE_ID.get(cls)
+    if type_id is None:
+        raise TypeError(
+            f"unregistered packet class {cls.__name__}; add it to "
+            "repro.parallel.wire.PACKET_TYPES"
+        )
+    buf.append(type_id)
+    for name in _FIELDS[cls]:
+        encode_value(buf, getattr(packet, name))
+
+
+def decode_packet(buf, offset: int) -> Tuple[Packet, int]:
+    """Decode one packet at ``offset``; returns (packet, new offset)."""
+    type_id = buf[offset]
+    offset += 1
+    if type_id >= len(PACKET_TYPES):
+        raise ValueError(f"corrupt wire frame: unknown packet type id {type_id}")
+    cls = PACKET_TYPES[type_id]
+    kwargs: Dict[str, Any] = {}
+    for name in _FIELDS[cls]:
+        kwargs[name], offset = decode_value(buf, offset)
+    return cls(**kwargs), offset
+
+
+# ----------------------------------------------------------------------
+# Transit message batches
+# ----------------------------------------------------------------------
+def _encode_msg(buf: bytearray, msg: WireMsg) -> None:
+    time, sender_rank, send_order, dst, src, packet = msg
+    buf += _MSG_HEAD.pack(time, sender_rank, send_order)
+    for name in (dst, src):
+        raw = name.encode("utf-8")
+        buf += _I.pack(len(raw))
+        buf += raw
+    encode_value(buf, packet)
+
+
+def _decode_msg(buf, offset: int) -> Tuple[WireMsg, int]:
+    time, sender_rank, send_order = _MSG_HEAD.unpack_from(buf, offset)
+    offset += _MSG_HEAD.size
+    names = []
+    for _ in range(2):
+        (length,) = _I.unpack_from(buf, offset)
+        offset += 4
+        names.append(bytes(buf[offset : offset + length]).decode("utf-8"))
+        offset += length
+    packet, offset = decode_value(buf, offset)
+    return (time, sender_rank, send_order, names[0], names[1], packet), offset
+
+
+def _decode_msgs(buf, offset: int, count: int) -> Tuple[List[WireMsg], int]:
+    msgs: List[WireMsg] = []
+    for _ in range(count):
+        msg, offset = _decode_msg(buf, offset)
+        msgs.append(msg)
+    return msgs, offset
+
+
+def _encode_status(
+    buf: bytearray, peek: Optional[float], eot: float, msgs: List[WireMsg]
+) -> None:
+    buf += _DONE_HEAD.pack(peek is not None, peek or 0.0, eot, len(msgs))
+    for msg in msgs:
+        _encode_msg(buf, msg)
+
+
+def _decode_status(buf) -> Tuple[Optional[float], float, List[WireMsg]]:
+    has_peek, peek, eot, count = _DONE_HEAD.unpack_from(buf, 1)
+    msgs, _ = _decode_msgs(buf, 1 + _DONE_HEAD.size, count)
+    return (peek if has_peek else None), eot, msgs
+
+
+def _expect(buf, op: int) -> None:
+    if not buf or buf[0] != op:
+        raise ValueError(
+            f"protocol error: expected op {op}, got "
+            f"{buf[0] if buf else 'empty frame'}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def encode_ready(peek: Optional[float], eot: float) -> bytes:
+    """Worker -> coordinator handshake: initial peek time and EOT bound."""
+    buf = bytearray([OP_READY])
+    _encode_status(buf, peek, eot, [])
+    return bytes(buf)
+
+
+def decode_ready(buf) -> Tuple[Optional[float], float]:
+    """Decode a READY frame into ``(peek, eot)``."""
+    _expect(buf, OP_READY)
+    peek, eot, _msgs = _decode_status(buf)
+    return peek, eot
+
+
+def encode_run(horizon: float, inclusive: bool, msgs: List[WireMsg]) -> bytes:
+    """Coordinator -> worker: window command plus piggybacked injections."""
+    buf = bytearray([OP_RUN])
+    buf += _RUN_HEAD.pack(horizon, inclusive, len(msgs))
+    for msg in msgs:
+        _encode_msg(buf, msg)
+    return bytes(buf)
+
+
+def decode_run(buf) -> Tuple[float, bool, List[WireMsg]]:
+    """Decode a RUN frame into ``(horizon, inclusive, injections)``."""
+    _expect(buf, OP_RUN)
+    horizon, inclusive, count = _RUN_HEAD.unpack_from(buf, 1)
+    msgs, _ = _decode_msgs(buf, 1 + _RUN_HEAD.size, count)
+    return horizon, bool(inclusive), msgs
+
+
+def encode_done(peek: Optional[float], eot: float, msgs: List[WireMsg]) -> bytes:
+    """Worker -> coordinator: post-window peek, EOT bound and egress batch."""
+    buf = bytearray([OP_DONE])
+    _encode_status(buf, peek, eot, msgs)
+    return bytes(buf)
+
+
+def decode_done(buf) -> Tuple[Optional[float], float, List[WireMsg]]:
+    """Decode a DONE frame into ``(peek, eot, egress batch)``."""
+    _expect(buf, OP_DONE)
+    return _decode_status(buf)
+
+
+def encode_finish() -> bytes:
+    """Coordinator -> worker: stop and report results."""
+    return bytes([OP_FINISH])
+
+
+def encode_result(result: dict) -> bytes:
+    """Worker -> coordinator: the final result dict as tagged values."""
+    buf = bytearray([OP_RESULT])
+    encode_value(buf, result)
+    return bytes(buf)
+
+
+def decode_result(buf) -> dict:
+    """Decode a RESULT frame back into the worker's result dict."""
+    _expect(buf, OP_RESULT)
+    value, _ = decode_value(buf, 1)
+    return value

@@ -1,0 +1,195 @@
+"""Spec-sliced shard builds must be indistinguishable from replica slices.
+
+The parallel executor's correctness argument leans on one property: a
+worker that builds only its shard's slice sees *exactly* the state the
+old full-replica worker saw for those nodes — same ranks, same face
+order, same link delays, same routes, same RP layout.  These tests
+compare every slice against the restriction of a full build, across
+seeds, topology shapes and shard counts, and then prove at the process
+level that nobody on the proc path builds a full world anymore.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.parallel.scale import (
+    ScaleSpec,
+    build_scale_world,
+    run_scale,
+    scale_plan,
+)
+from repro.parallel.slicing import (
+    build_scale_shard,
+    scale_links,
+    scale_nodes,
+    scale_plan_fast,
+    scale_ranks,
+    scale_routes,
+    shard_boundary_distances,
+    spec_lookahead_ms,
+)
+
+SPECS = [
+    ScaleSpec(players=64, regions=4, access_per_region=2, updates=80, seed=9),
+    ScaleSpec(players=200, regions=4, access_per_region=8, updates=40, seed=11),
+    ScaleSpec(players=37, regions=3, access_per_region=3, updates=20, seed=5),
+    ScaleSpec(players=18, regions=2, access_per_region=1, updates=10, seed=2),
+]
+
+
+def spec_shard_cases():
+    return [
+        pytest.param(
+            spec,
+            shards,
+            id=f"r{spec.regions}a{spec.access_per_region}"
+            f"p{spec.players}s{spec.seed}/shards{shards}",
+        )
+        for spec in SPECS
+        for shards in range(2, spec.regions + 1)
+    ]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: f"seed{s.seed}p{s.players}")
+class TestSpecGeometry:
+    def test_nodes_and_ranks_match_full_build(self, spec):
+        world = build_scale_world(spec)
+        names = [name for name, _kind in scale_nodes(spec)]
+        assert names == list(world.network.nodes)
+        assert scale_ranks(spec) == {
+            name: node.rank for name, node in world.network.nodes.items()
+        }
+
+    def test_links_match_full_build(self, spec):
+        world = build_scale_world(spec)
+        expected = [
+            (link._ends[0][0].name, link._ends[1][0].name, link.delay)
+            for link in world.network.links
+        ]
+        assert scale_links(spec) == expected
+
+    def test_routes_match_installed_fibs(self, spec):
+        world = build_scale_world(spec)
+        routes = scale_routes(spec)
+        for name, table in routes.items():
+            router = world.network.nodes[name]
+            for rp_name, next_hop in table.items():
+                assert router.rp_route[rp_name].peer.name == next_hop
+
+
+@pytest.mark.parametrize("spec,shards", spec_shard_cases())
+class TestPlanEquivalence:
+    def test_plan_fast_matches_network_plan(self, spec, shards):
+        world = build_scale_world(spec)
+        slow = scale_plan(world.network, spec, shards)
+        fast = scale_plan_fast(spec, shards)
+        assert fast.assignment == slow.assignment
+        assert fast.anchors == slow.anchors
+        assert fast.num_shards == slow.num_shards
+
+    def test_spec_lookahead_matches_plan_lookahead(self, spec, shards):
+        world = build_scale_world(spec)
+        plan = scale_plan(world.network, spec, shards)
+        assert spec_lookahead_ms(spec, plan) == plan.lookahead_ms(world.network)
+
+    def test_boundary_distances_match_plan(self, spec, shards):
+        world = build_scale_world(spec)
+        plan = scale_plan_fast(spec, shards)
+        by_rank = plan.boundary_distances(world.network)
+        for shard in range(shards):
+            from_spec = shard_boundary_distances(spec, plan, shard)
+            expected = {
+                name: by_rank[shard][world.network.nodes[name].rank]
+                for name in from_spec
+            }
+            assert from_spec == expected
+            # Covers exactly the shard's members.
+            members = {n for n, s in plan.assignment.items() if s == shard}
+            assert set(from_spec) == members
+
+
+@pytest.mark.parametrize("spec,shards", spec_shard_cases())
+def test_slice_is_identical_to_full_replica_restriction(spec, shards):
+    full = build_scale_world(spec)
+    plan = scale_plan_fast(spec, shards)
+    for shard in range(shards):
+        world = build_scale_shard(spec, plan, shard)
+        members = {n for n, s in plan.assignment.items() if s == shard}
+        boundary_far = set()
+        for link in full.network.links:
+            a, b = link._ends[0][0].name, link._ends[1][0].name
+            if (plan.assignment[a] == shard) != (plan.assignment[b] == shard):
+                boundary_far.add(b if plan.assignment[a] == shard else a)
+        # Node set: exactly the members plus boundary stubs.
+        assert set(world.network.nodes) == members | boundary_far
+        assert set(world.hosts) == {n for n in members if n.startswith("p")}
+        for name in members:
+            mine, theirs = world.network.nodes[name], full.network.nodes[name]
+            assert mine.rank == theirs.rank
+            assert type(mine).__name__ == type(theirs).__name__
+            # Same faces in the same order, toward the same peers, over
+            # links with the same delay — face iteration order feeds
+            # multicast fan-out order, so this must be exact.
+            assert [
+                (f.face_id, f.peer.name, f.link.delay) for f in mine.faces.values()
+            ] == [(f.face_id, f.peer.name, f.link.delay) for f in theirs.faces.values()]
+            if hasattr(theirs, "rp_route"):
+                assert {
+                    rp: face.peer.name for rp, face in mine.rp_route.items()
+                } == {rp: face.peer.name for rp, face in theirs.rp_route.items()}
+                assert mine.rp_prefixes == theirs.rp_prefixes
+        for stub in boundary_far:
+            node = world.network.nodes[stub]
+            assert node.is_copss_router
+            assert node.rank == full.network.nodes[stub].rank
+        assert world.host_region == {
+            n: full.host_region[n] for n in world.hosts
+        }
+
+
+def test_stub_nodes_refuse_to_execute():
+    spec = SPECS[0]
+    plan = scale_plan_fast(spec, 2)
+    world = build_scale_shard(spec, plan, 0)
+    foreign = next(
+        n for n in world.network.nodes if plan.assignment[n] != 0
+    )
+    stub = world.network.nodes[foreign]
+    with pytest.raises(RuntimeError, match="stub"):
+        stub.receive(object(), None)
+
+
+def test_plan_fast_rejects_bad_shard_counts():
+    spec = SPECS[0]
+    with pytest.raises(ValueError, match="shards must be"):
+        scale_plan_fast(spec, 0)
+    with pytest.raises(ValueError, match="shards must be"):
+        scale_plan_fast(spec, spec.regions + 1)
+
+
+class TestNoFullWorldOnProcPath:
+    def test_neither_coordinator_nor_workers_build_the_world(self, monkeypatch):
+        """``build_scale_world`` poisoned before the proc run.
+
+        Workers inherit the poison through fork; the run can only finish
+        (and match the serial digest) if every process builds from the
+        spec slice instead.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        spec = ScaleSpec(players=24, regions=4, access_per_region=2,
+                         updates=30, seed=3)
+        serial = run_scale(spec)
+
+        import repro.parallel.procpool as procpool
+        import repro.parallel.scale as scale_mod
+
+        def boom(_spec):
+            raise AssertionError("full world build on the proc path")
+
+        monkeypatch.setattr(scale_mod, "build_scale_world", boom)
+        proc = procpool.run_scale_proc(spec, workers=2)
+        assert proc["digest"] == serial["digest"]
+        assert proc["deliveries"] == serial["deliveries"]
+        assert proc["events_processed"] == serial["events_processed"]

@@ -1,7 +1,7 @@
 """The `scale` scenario: three execution modes, one delivery digest.
 
 Tier-1 keeps a small multiprocess smoke (2 workers) — the cheapest
-end-to-end proof that the replicated-build worker protocol reproduces
+end-to-end proof that the slice-building worker protocol reproduces
 the serial digest across real process boundaries.  The wider sweeps
 (4 workers, bench harness) are slow-marked.
 """
@@ -86,6 +86,27 @@ class TestScaleEquivalence:
             assert arm["digest_match"] is True
             assert arm["wall_s"] >= 0
             assert arm["deliveries"] == report["deliveries"]
+        # Shard count and worker count are separate facts: the in-process
+        # arm shards the event loop but still runs on one worker.
+        by_mode = {arm["mode"]: arm for arm in report["arms"]}
+        assert (by_mode["serial"]["shards"], by_mode["serial"]["workers"]) == (1, 1)
+        assert (by_mode["inproc:2"]["shards"], by_mode["inproc:2"]["workers"]) == (2, 1)
+        assert (by_mode["proc:2"]["shards"], by_mode["proc:2"]["workers"]) == (2, 2)
+        assert by_mode["inproc:2"]["windows_run"] > 0
+        assert report["host"]["cpus"] >= 1
+
+    @pytest.mark.slow
+    def test_bench_scale_curve_is_digest_gated(self):
+        spec = ScaleSpec(players=24, regions=4, access_per_region=2,
+                         updates=30, seed=3)
+        report = bench_scale(spec, worker_counts=(1, 2), curve_players=(24, 48))
+        assert [point["players"] for point in report["curve"]] == [24, 48]
+        for point in report["curve"]:
+            assert point["equivalent"] is True
+            modes = [arm["mode"] for arm in point["arms"]]
+            assert modes[0] == "serial"
+            assert any(m.startswith("inproc:") for m in modes)
+            assert any(m.startswith("proc:") for m in modes)
 
 
 class TestScaleCli:
