@@ -38,6 +38,7 @@ __all__ = [
     "optimal_params",
     "indexes_for",
     "mask_for",
+    "prefix_indexes_for",
 ]
 
 #: Counter ceiling of the counting filter (16-bit, as on a real router).
@@ -91,6 +92,27 @@ def indexes_for(cd: "Name | str", num_bits: int, num_hashes: int) -> Tuple[int, 
 def mask_for(cd: "Name | str", num_bits: int, num_hashes: int) -> int:
     """The OR of ``cd``'s bit positions as a single int bitmask."""
     return _derive(Name.coerce(cd), num_bits, num_hashes)[1]
+
+
+def prefix_indexes_for(
+    cd: "Name | str", num_bits: int, num_hashes: int
+) -> Tuple[Tuple[int, ...], ...]:
+    """Bloom index tuples for every prefix of ``cd``, instance-cached.
+
+    Hierarchical matching probes a CD *and all its prefixes*; this
+    returns the whole per-prefix index family (aligned with
+    :meth:`Name.prefixes`) in one cached lookup so the fan-out path never
+    rebuilds the per-prefix index list packet by packet.
+    """
+    name = Name.coerce(cd)
+    cache = name.derived_cache()
+    key = ("prefix-indexes", num_bits, num_hashes)
+    entry = cache.get(key)
+    if entry is None:
+        entry = cache[key] = tuple(
+            indexes_for(prefix, num_bits, num_hashes) for prefix in name.prefixes()
+        )
+    return entry
 
 
 class BloomFilter:

@@ -26,9 +26,14 @@ perf harness.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
 
-from repro.core.bloom import CountingBloomFilter, indexes_for, mask_for
+from repro.core.bloom import (
+    CountingBloomFilter,
+    indexes_for,
+    prefix_indexes_for,
+)
 from repro.names import Name
 
 __all__ = ["SubscriptionTable"]
@@ -53,6 +58,13 @@ class SubscriptionTable(Generic[F]):
         self._generation = 0
         self._cache_generation = 0
         self._match_cache_limit = 4096
+        # Contiguous fan-out snapshot (see _snapshot): the per-face Bloom
+        # bitmaps transposed into one flat column table — entry ``b`` is a
+        # face-bitmask of which faces have Bloom bit ``b`` set — so a
+        # prefix probe is k tiny AND-folds instead of a per-face scan.
+        self._packed_faces: Tuple[F, ...] = ()
+        self._packed_cols: "array[int] | List[int]" = []
+        self._packed_generation = -1
 
     # ------------------------------------------------------------------
     # Mutation
@@ -170,23 +182,78 @@ class SubscriptionTable(Generic[F]):
         self.false_positive_forwards += fp_faces
         return list(faces)
 
+    def _snapshot(self) -> Tuple[Tuple[F, ...], "array[int] | List[int]"]:
+        """(faces, bit-sliced column table), generation-cached.
+
+        The per-face Bloom bitmaps are *transposed* into one contiguous
+        buffer: column ``b`` is a bitmask over faces — bit ``i`` set iff
+        face ``faces[i]`` has Bloom bit ``b`` set.  A CD with hash
+        indexes ``(b0..bk)`` then matches exactly the faces in
+        ``cols[b0] & ... & cols[bk]`` — ``k`` ANDs of face-width ints for
+        the whole table, instead of a per-face loop over filter-width
+        bitmaps.  Up to 64 faces the table is a flat ``array("Q")``
+        (one machine word per column); beyond that it degrades to a list
+        of arbitrary-width ints with identical semantics.  Rebuilt lazily
+        on the first match after a mutation; subscription churn is orders
+        of magnitude rarer than packets, so the rebuild amortizes to
+        noise.
+        """
+        if self._packed_generation == self._generation:
+            return self._packed_faces, self._packed_cols
+        blooms = self._blooms
+        faces = tuple(blooms)
+        if len(faces) <= 64:
+            cols: "array[int] | List[int]" = array("Q", bytes(8 * self._bloom_bits))
+        else:
+            cols = [0] * self._bloom_bits
+        face_bit = 1
+        for face in faces:
+            view = blooms[face].bit_view
+            while view:
+                rest = view & (view - 1)  # clear lowest set bit
+                cols[(view ^ rest).bit_length() - 1] |= face_bit
+                view = rest
+            face_bit <<= 1
+        self._packed_faces = faces
+        self._packed_cols = cols
+        self._packed_generation = self._generation
+        return faces, cols
+
     def _match_packed(self, name: Name) -> Tuple[List[F], int]:
-        """One AND per (face, prefix) against each filter's packed bit view."""
+        """Single-pass fan-out over the bit-sliced column snapshot.
+
+        For each prefix, AND-fold the columns of its hash indexes: the
+        result is the face-set matching that prefix as one int.  OR the
+        per-prefix hits together and the whole hierarchical decision for
+        every face has been made in ``len(prefixes) * k`` word ops; only
+        the (usually tiny) hit set is walked per-face, for exact-state
+        false-positive accounting.
+        """
         prefixes = name.prefixes()
-        bits, hashes = self._bloom_bits, self._bloom_hashes
-        # All per-face filters share the table's (bits, hashes) geometry,
-        # so each prefix's combined mask is derived once per CD (and cached
-        # on the Name instance) and ANDed against every face's view.
-        masks = [mask_for(prefix, bits, hashes) for prefix in prefixes]
+        faces, cols = self._snapshot()
+        if not faces:
+            return [], 0
+        hits = 0
+        for indexes in prefix_indexes_for(name, self._bloom_bits, self._bloom_hashes):
+            acc = cols[indexes[0]]
+            for idx in indexes[1:]:
+                if not acc:
+                    break
+                acc &= cols[idx]
+            hits |= acc
+        if not hits:
+            return [], 0
         matched: List[F] = []
         fp_faces = 0
-        for face, bloom in self._blooms.items():
-            view = bloom.bit_view
-            if any(view & mask == mask for mask in masks):
-                matched.append(face)
-                exact = self._exact[face]
-                if not any(prefix in exact for prefix in prefixes):
-                    fp_faces += 1
+        exact_by_face = self._exact
+        while hits:
+            low = hits & -hits
+            hits ^= low
+            face = faces[low.bit_length() - 1]
+            matched.append(face)
+            exact = exact_by_face[face]
+            if not any(prefix in exact for prefix in prefixes):
+                fp_faces += 1
         return matched, fp_faces
 
     def _match_scan(self, name: Name) -> Tuple[List[F], int]:

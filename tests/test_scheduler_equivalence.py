@@ -1,0 +1,377 @@
+"""Bucketed scheduler ≡ reference heapq — property and regression suite.
+
+The calendar engine in :mod:`repro.sim.engine` promises *bit-identical*
+execution order with the global-heap engine it replaced: the
+``(time, origin, seq)`` total order, windowed ``run(until, inclusive)``
+semantics, ``max_events`` budgets, lazy cancellation, and link-batch
+delivery must all be observationally indistinguishable.  This file pins
+that promise against :class:`ReferenceScheduler` — a straight heapq port
+of the pre-calendar engine, simple enough to be obviously correct — by
+running identical randomized schedule/cancel/run scripts on both and
+comparing full execution traces.
+
+The regression tests at the bottom pin the named batch corner cases:
+a batch counts each member toward ``max_events``/``events_processed``,
+cancelled members are skipped (and not counted), a mid-batch ``stop()``
+or budget exhaustion re-queues the unexecuted tail, and a member
+callback scheduling a same-tick event with a lower origin *preempts*
+the remaining members — exactly as the reference heap would interleave
+it.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EXTERNAL_ORIGIN, EventHandle, Simulator
+
+
+class ReferenceScheduler:
+    """The pre-calendar engine: one global heap, one pop per event.
+
+    Deliberately kept as close to the historical implementation as
+    possible (including the ``origin`` install and the ``max``-clamped
+    idle-advance) so the property tests compare the calendar engine
+    against known-good semantics rather than against a re-derivation.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._stopped = False
+        self.events_processed = 0
+        self.origin = EXTERNAL_ORIGIN
+
+    def schedule(self, delay, callback, *args):
+        if delay < 0:
+            raise ValueError("negative delay")
+        time = self.now + delay
+        origin = self.origin
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, origin)
+        heapq.heappush(self._heap, (time, origin, seq, handle))
+        return handle
+
+    def schedule_at(self, time, callback, *args):
+        if time < self.now:
+            raise ValueError("past")
+        origin = self.origin
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, origin)
+        heapq.heappush(self._heap, (time, origin, seq, handle))
+        return handle
+
+    def schedule_link(self, delay, sort_origin, exec_origin, callback, *args):
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, exec_origin)
+        heapq.heappush(self._heap, (time, sort_origin, seq, handle))
+        return handle
+
+    def schedule_arrival_at(self, time, sort_origin, exec_origin, callback, *args):
+        if time < self.now:
+            raise ValueError("past")
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, exec_origin)
+        heapq.heappush(self._heap, (time, sort_origin, seq, handle))
+        return handle
+
+    def run(self, until=None, max_events=None, inclusive=True):
+        self._stopped = False
+        processed = 0
+        heap = self._heap
+        try:
+            while heap and not self._stopped:
+                time = heap[0][0]
+                if until is not None and (
+                    time > until or (not inclusive and time == until)
+                ):
+                    if inclusive:
+                        self.now = max(self.now, until)
+                    return
+                _t, _o, _s, handle = heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                self.now = time
+                self.origin = handle.exec_origin
+                handle.callback(*handle.args)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    return
+            if until is not None and inclusive and not self._stopped:
+                self.now = max(self.now, until)
+        finally:
+            self.events_processed += processed
+            self.origin = EXTERNAL_ORIGIN
+
+    def step(self):
+        while self._heap:
+            time, _o, _s, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self.origin = handle.exec_origin
+            try:
+                handle.callback(*handle.args)
+            finally:
+                self.origin = EXTERNAL_ORIGIN
+            self.events_processed += 1
+            return True
+        return False
+
+    def stop(self):
+        self._stopped = True
+
+    def pending(self):
+        return len(self._heap)
+
+
+# Small value pools: heavy collisions are the point — equal timestamps
+# exercise bucket sharing, zero delays exercise active-tick insorts and
+# batch preemption, and small origin ranges force sender-rank ties.
+DELAYS = (0.0, 0.0, 0.25, 1.0, 1.0, 2.0, 3.5)
+ORIGINS = (0, 1, 2, 3)
+
+# One in-callback (or external) action.  ``spawn``/``at`` schedule with
+# the executing context's origin; ``link``/``burst`` carry an explicit
+# sender rank; ``cancel`` lazily cancels an earlier handle; ``stop``
+# halts the loop after the current callback.
+_action = st.one_of(
+    st.tuples(st.just("spawn"), st.sampled_from(range(len(DELAYS)))),
+    st.tuples(st.just("at"), st.sampled_from(range(len(DELAYS)))),
+    st.tuples(
+        st.just("link"),
+        st.sampled_from(range(len(DELAYS))),
+        st.sampled_from(ORIGINS),
+        st.sampled_from(ORIGINS),
+    ),
+    st.tuples(
+        st.just("burst"),
+        st.sampled_from(range(len(DELAYS))),
+        st.sampled_from(ORIGINS),
+        st.sampled_from(ORIGINS),
+        st.integers(min_value=2, max_value=5),
+    ),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=63)),
+    st.tuples(st.just("stop")),
+)
+
+_specs = st.lists(st.lists(_action, max_size=4), min_size=1, max_size=24)
+
+# A run window: (horizon delta or None, max_events or None, inclusive).
+_windows = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.sampled_from((0.0, 0.25, 1.0, 2.0, 5.0))),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=6)),
+        st.booleans(),
+    ),
+    max_size=4,
+)
+
+
+class Driver:
+    """Replays one generated script against either scheduler."""
+
+    def __init__(self, sim, specs):
+        self.sim = sim
+        self.specs = specs
+        self.next_spec = 0
+        self.handles = []
+        self.trace = []
+
+    def _take_spec(self):
+        i = self.next_spec
+        if i < len(self.specs):
+            self.next_spec = i + 1
+            return i
+        return -1
+
+    def fire(self, eid):
+        sim = self.sim
+        self.trace.append(("exec", eid, sim.now, sim.origin))
+        if eid >= 0:
+            for act in self.specs[eid]:
+                self.apply(act)
+
+    def apply(self, act):
+        sim = self.sim
+        kind = act[0]
+        if kind == "spawn":
+            self.handles.append(sim.schedule(DELAYS[act[1]], self.fire, self._take_spec()))
+        elif kind == "at":
+            self.handles.append(
+                sim.schedule_at(sim.now + DELAYS[act[1]], self.fire, self._take_spec())
+            )
+        elif kind == "link":
+            self.handles.append(
+                sim.schedule_link(DELAYS[act[1]], act[2], act[3], self.fire, self._take_spec())
+            )
+        elif kind == "burst":
+            # Back-to-back same-(delay, sender) sends: the pattern the
+            # calendar coalesces into one batch entry.
+            for _ in range(act[4]):
+                self.handles.append(
+                    sim.schedule_link(
+                        DELAYS[act[1]], act[2], act[3], self.fire, self._take_spec()
+                    )
+                )
+        elif kind == "cancel":
+            if self.handles:
+                self.handles[act[1] % len(self.handles)].cancel()
+        elif kind == "stop":
+            sim.stop()
+
+    def checkpoint(self):
+        sim = self.sim
+        self.trace.append(("mark", sim.now, sim.events_processed, sim.pending()))
+
+
+def _replay(sim, specs, initial, windows):
+    driver = Driver(sim, specs)
+    for act in initial:
+        driver.apply(act)
+    t = 0.0
+    for delta, max_ev, inclusive in windows:
+        until = None if delta is None else t + delta
+        if until is not None:
+            t = until
+        sim.run(until=until, max_events=max_ev, inclusive=inclusive)
+        driver.checkpoint()
+    sim.run()
+    driver.checkpoint()
+    return driver.trace
+
+
+@settings(max_examples=120)
+@given(specs=_specs, initial=st.lists(_action, min_size=1, max_size=6), windows=_windows)
+def test_run_trace_equivalent_to_reference_heap(specs, initial, windows):
+    ref = _replay(ReferenceScheduler(), specs, initial, windows)
+    cal = _replay(Simulator(), specs, initial, windows)
+    assert cal == ref
+
+
+@settings(max_examples=60)
+@given(specs=_specs, initial=st.lists(_action, min_size=1, max_size=6))
+def test_step_trace_equivalent_to_reference_heap(specs, initial):
+    traces = []
+    for sim in (ReferenceScheduler(), Simulator()):
+        driver = Driver(sim, specs)
+        for act in initial:
+            driver.apply(act)
+        while sim.step():
+            pass
+        driver.checkpoint()
+        traces.append(driver.trace)
+    assert traces[0] == traces[1]
+
+
+# ----------------------------------------------------------------------
+# Named batch corner cases (regression tests)
+# ----------------------------------------------------------------------
+
+
+def _burst(sim, k, delay, sort_origin, log, tag="m", on_fire=None):
+    handles = []
+    for i in range(k):
+        def cb(i=i):
+            log.append(f"{tag}{i}")
+            if on_fire is not None:
+                on_fire(i)
+        handles.append(sim.schedule_link(delay, sort_origin, sort_origin, cb))
+    return handles
+
+
+def test_batch_members_count_toward_max_events():
+    sim = Simulator()
+    log = []
+    _burst(sim, 4, 1.0, 5, log)
+    sim.run(max_events=2)
+    assert log == ["m0", "m1"]
+    assert sim.events_processed == 2
+    assert sim.pending() == 2
+    sim.run()
+    assert log == ["m0", "m1", "m2", "m3"]
+    assert sim.events_processed == 4
+    assert sim.pending() == 0
+
+
+def test_cancelled_member_inside_batch_is_skipped_and_not_counted():
+    sim = Simulator()
+    log = []
+    handles = _burst(sim, 3, 1.0, 5, log)
+    handles[1].cancel()
+    sim.run()
+    assert log == ["m0", "m2"]
+    assert sim.events_processed == 2
+    assert sim.pending() == 0
+
+
+def test_member_callback_can_cancel_later_member_of_same_batch():
+    sim = Simulator()
+    log = []
+    handles = _burst(sim, 3, 1.0, 5, log, on_fire=lambda i: i == 0 and handles[2].cancel())
+    sim.run()
+    assert log == ["m0", "m1"]
+    assert sim.events_processed == 2
+
+
+def test_same_tick_lower_origin_preempts_batch_remainder():
+    # A member callback schedules a zero-delay arrival whose sender rank
+    # sorts *before* the batch's — the reference heap pops it next, so
+    # the batch must yield mid-way.
+    for make_sim in (ReferenceScheduler, Simulator):
+        sim = make_sim()
+        log = []
+
+        def on_fire(i):
+            if i == 0:
+                sim.schedule_link(0.0, 0, 0, lambda: log.append("preempt"))
+
+        _burst(sim, 3, 1.0, 5, log, on_fire=on_fire)
+        sim.run()
+        assert log == ["m0", "preempt", "m1", "m2"], make_sim.__name__
+
+
+def test_same_tick_higher_origin_does_not_preempt_batch():
+    for make_sim in (ReferenceScheduler, Simulator):
+        sim = make_sim()
+        log = []
+
+        def on_fire(i):
+            if i == 0:
+                sim.schedule_link(0.0, 9, 9, lambda: log.append("after"))
+
+        _burst(sim, 3, 1.0, 5, log, on_fire=on_fire)
+        sim.run()
+        assert log == ["m0", "m1", "m2", "after"], make_sim.__name__
+
+
+def test_exclusive_horizon_excludes_batch_tick():
+    sim = Simulator()
+    log = []
+    _burst(sim, 3, 1.0, 5, log)
+    sim.run(until=1.0, inclusive=False)
+    assert log == []
+    assert sim.pending() == 3
+    sim.run(until=1.0, inclusive=True)
+    assert log == ["m0", "m1", "m2"]
+
+
+def test_stop_mid_batch_requeues_tail_in_order():
+    sim = Simulator()
+    log = []
+    _burst(sim, 4, 1.0, 5, log, on_fire=lambda i: i == 1 and sim.stop())
+    sim.run()
+    assert log == ["m0", "m1"]
+    assert sim.pending() == 2
+    sim.run()
+    assert log == ["m0", "m1", "m2", "m3"]
+    assert sim.events_processed == 4
