@@ -717,13 +717,31 @@ class ControlPlane:
         if router.name == packet.new_rp:
             # We are the new root: adopt the prefixes, hang the old tree off
             # the arrival face, and announce ourselves network-wide.
+            #
+            # Except prefixes we have *since relinquished onward*: a lossy
+            # ack flood makes the old RP retry the handoff, and the replay
+            # can land after our own split already handed the prefix to a
+            # successor.  Re-adopting would leave two RPs flooding rival
+            # routes for it (the re-announce war intermittently prunes the
+            # delivery tree).  The relay entry keeps publications flowing
+            # to the real owner, so skip — unless the packet comes from
+            # that very successor, which is a legitimate hand-back.
+            adopted = []
             for prefix in moved:
+                onward = self.relay.relinquished.get(prefix)
+                if onward is not None and onward != packet.old_rp:
+                    continue
+                self.relay.relinquished.pop(prefix, None)
                 self.rp.prefixes.add(prefix)
                 self.st.ensure(face, prefix)
                 self._touch(face, prefix)
-            self._flip_upstreams(moved, None)
+                adopted.append(prefix)
+            if not adopted:
+                return
+            kept = tuple(adopted)
+            self._flip_upstreams(kept, None)
             flood = FibAddPacket(
-                prefixes=moved, origin=router.name, created_at=router.sim.now
+                prefixes=kept, origin=router.name, created_at=router.sim.now
             )
             self.handle_fib_add(flood, face=None)
             return

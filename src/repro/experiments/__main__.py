@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments table2 --sample 0.01
     python -m repro.experiments table3 --moves 80
     python -m repro.experiments perfbench --quick
+    python -m repro.experiments scenarios --scenarios churn --plans rp-crash
     python -m repro.experiments all
 
 Each subcommand prints the regenerated table/figure in the same layout
@@ -197,11 +198,13 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         scale=args.scale,
         loss=args.loss,
         telemetry=telemetry,
+        scenario=args.scenario or None,
     )
     body = report.as_dict()
     if args.out:
         Path(args.out).write_text(json.dumps(body, indent=2, sort_keys=True) + "\n")
     rows = [
+        ("workload", args.scenario or "fig4-trace"),
         ("plan", args.plan),
         ("seed", args.seed),
         ("events", body["events_total"]),
@@ -220,14 +223,91 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         print()
         print("injected drop reasons:", body["trace"]["drop_reasons"] or "(none)")
         for item in body["trace"]["missed_chains"]:
+            index = item.get("event_index", item.get("sequence"))
             print(
-                f"\nmissed update #{item['event_index']} -> {item['receiver']} "
+                f"\nmissed update #{index} -> {item['receiver']} "
                 f"(trace id {item['trace_id']}):"
             )
             for line in item["chain"]:
                 print(" ", line)
     if not body["invariant_ok"]:
         raise SystemExit(1)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.chaos import PLAN_NAMES
+    from repro.experiments.scenarios import SCENARIO_NAMES, run_matrix
+
+    def _csv(value: str, universe) -> list:
+        if value == "all":
+            return list(universe)
+        names = [x.strip() for x in value.split(",") if x.strip()]
+        for name in names:
+            if name not in universe:
+                raise SystemExit(f"unknown name {name!r}; choose from {universe}")
+        return names
+
+    scenario_names = _csv(args.scenarios, SCENARIO_NAMES)
+    plan_names = _csv(args.plans, PLAN_NAMES)
+    seeds = tuple(int(x) for x in args.seeds.split(","))
+    body = run_matrix(
+        scenario_names,
+        plan_names,
+        seeds=seeds,
+        scale=args.scale,
+        loss=args.loss,
+        monitor=not args.no_monitor,
+        progress=lambda key, cell: print(
+            f"  {key:<40} {'ok' if cell['invariant_ok'] else 'VIOLATED':<8} "
+            f"misses={cell['permanent_misses']} digest={cell['digest'][:12]}"
+        ),
+    )
+    if args.out:
+        Path(args.out).write_text(json.dumps(body, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    rows = [
+        (
+            key,
+            "OK" if cell["invariant_ok"] else "VIOLATED",
+            cell["permanent_misses"],
+            cell["deliveries_expected"],
+            cell["deliveries_got"],
+            round(cell["recovery_time_ms"] or 0.0, 1),
+            cell["digest"][:12],
+        )
+        for key, cell in sorted(body["cells"].items())
+    ]
+    print(
+        render_table(
+            f"Scenario × chaos matrix (scale={args.scale}, loss={args.loss})",
+            ("cell", "invariant", "misses", "expected", "got", "recovery ms", "digest"),
+            rows,
+        )
+    )
+    failed = [k for k, c in body["cells"].items() if not c["invariant_ok"]]
+    if failed:
+        print(f"INVARIANT VIOLATIONS in: {', '.join(sorted(failed))}")
+        raise SystemExit(1)
+    if args.check:
+        committed = json.loads(Path(args.check).read_text())
+        mismatched = []
+        for key, cell in body["cells"].items():
+            want = committed.get("cells", {}).get(key)
+            if want is None:
+                mismatched.append(f"{key} (not in {args.check})")
+            elif want["digest"] != cell["digest"]:
+                mismatched.append(
+                    f"{key} (got {cell['digest'][:12]}, want {want['digest'][:12]})"
+                )
+        if mismatched:
+            print("DIGEST REGRESSION vs committed benchmark:")
+            for line in mismatched:
+                print("  ", line)
+            raise SystemExit(1)
+        print(f"digests match {args.check} for all {len(body['cells'])} cells")
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -243,6 +323,7 @@ def _cmd_trace(args: argparse.Namespace) -> None:
             seed=args.seed,
             loss=args.loss,
             plan=args.plan,
+            scenario=args.scenario or None,
             sample_every=args.sample_every,
             metrics_interval_ms=args.metrics_interval,
         )
@@ -290,6 +371,7 @@ _DISPATCH = {
     "perfbench": _cmd_perfbench,
     "scale": _cmd_scale,
     "chaos": _cmd_chaos,
+    "scenarios": _cmd_scenarios,
     "trace": _cmd_trace,
     "all": _cmd_all,
 }
@@ -369,6 +451,36 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="write the full JSON report to this path")
     p.add_argument("--trace", action="store_true",
                    help="record telemetry; on a miss, print the packet's hop chain")
+    from repro.experiments.scenarios import SCENARIO_NAMES
+
+    p.add_argument("--scenario", type=str, default="",
+                   choices=("", *SCENARIO_NAMES),
+                   help="replay a registered scenario script instead of the "
+                        "fig-4 trace (judged by the invariant monitor)")
+
+    p = sub.add_parser(
+        "scenarios",
+        help="scenario × chaos matrix under the invariant monitor "
+             "(BENCH_scenarios.json)",
+    )
+    p.add_argument("--scenarios", type=str, default="all",
+                   help=f"comma-separated subset of {SCENARIO_NAMES}, or 'all'")
+    p.add_argument("--plans", type=str, default="all",
+                   help=f"comma-separated subset of {PLAN_NAMES}, or 'all'")
+    p.add_argument("--seeds", type=str, default="1",
+                   help="comma-separated seeds, one matrix layer each")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="multiplier on each scenario's publish count")
+    p.add_argument("--loss", type=float, default=0.05,
+                   help="per-link loss probability for lossy plans")
+    p.add_argument("--out", type=str, default="",
+                   help="write the matrix JSON (BENCH_scenarios.json schema)")
+    p.add_argument("--check", type=str, default="",
+                   help="compare cell digests against this committed "
+                        "benchmark file; exit 1 on any mismatch")
+    p.add_argument("--no-monitor", action="store_true",
+                   help="run without the invariant monitor installed "
+                        "(digests must not change)")
 
     p = sub.add_parser(
         "trace", help="causal packet tracing: record a run, query hop chains"
@@ -386,6 +498,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="chaos only: per-link loss probability")
     tp.add_argument("--plan", type=str, default="rp-split-lossy",
                     choices=PLAN_NAMES, help="chaos only: fault plan")
+    tp.add_argument("--scenario", type=str, default="",
+                    choices=("", *SCENARIO_NAMES),
+                    help="chaos only: record a scenario script instead of "
+                         "the fig-4 trace")
     tp.add_argument("--sample-every", type=int, default=1,
                     help="trace only packets whose trace id divides by k")
     tp.add_argument("--metrics-interval", type=float, default=100.0,

@@ -98,6 +98,23 @@ class ChaosTimeline:
         """Refresh rounds needed to rebuild state after a blackout ends."""
         return 2 * self.refresh_interval_ms + 500.0
 
+    def check_after_ms(self, plan: FaultPlan, extra_margin_ms: float = 0.0) -> float:
+        """Absolute time from which the delivery invariant is strict.
+
+        Declared by the plan's own fault data (see
+        :meth:`~repro.sim.faults.FaultPlan.data_blackout_clear_ms`)
+        rather than by plan name: a plan that never touches data packets
+        must deliver everything (``0.0``); a plan whose blackout clears
+        at ``T`` is held to every update published after ``T`` plus the
+        refresh-driven recovery margin.  ``extra_margin_ms`` lets a
+        scenario declare additional slack (e.g. snapshot catch-up after
+        reconnect storms) without touching the plan.
+        """
+        clear = plan.data_blackout_clear_ms()
+        if clear is None:
+            return 0.0
+        return clear + self.recovery_margin_ms + extra_margin_ms
+
 
 def _plan_none(seed: int, loss: float, timeline: ChaosTimeline) -> FaultPlan:
     return FaultPlan(seed=seed, name="none")
@@ -168,21 +185,6 @@ def build_plan(name: str, seed: int, loss: float, timeline: ChaosTimeline) -> Fa
     except KeyError:
         raise ValueError(f"unknown plan {name!r}; choose from {PLAN_NAMES}") from None
     return builder(seed, loss, timeline)
-
-
-def _check_after(plan_name: str, timeline: ChaosTimeline) -> float:
-    """Absolute time from which the delivery invariant is strict.
-
-    Control-scope plans never touch data packets, so every update counts.
-    Blackout plans (down windows, crashes) legitimately lose data while
-    the fault is active; the invariant starts once the fault clears and
-    refresh has had time to rebuild the tree.
-    """
-    if plan_name == "link-flap":
-        return timeline.flap_window_ms[1] + timeline.recovery_margin_ms
-    if plan_name == "rp-crash":
-        return timeline.restart_at_ms + timeline.recovery_margin_ms
-    return 0.0
 
 
 @dataclass
@@ -259,7 +261,8 @@ def run_chaos(
     calibration: Calibration = DEFAULT_CALIBRATION,
     telemetry: Optional[TelemetrySession] = None,
     executor_factory=None,
-) -> ChaosReport:
+    scenario: Optional[str] = None,
+):
     """Run the fig-4 workload under ``plan_name`` and check delivery.
 
     ``scale`` shrinks the 12,440-event trace; ``loss`` parameterises the
@@ -277,7 +280,27 @@ def run_chaos(
     the forced split keeps ``spawn_on_split=False``: the sharded
     executor fixes the topology at construction, so mid-run node
     spawning is (deliberately) unsupported under sharding.
+
+    ``scenario`` retargets the same plan machinery at a registered
+    scenario from :mod:`repro.experiments.scenarios` instead of the
+    built-in fig-4 workload; the run then returns a
+    :class:`~repro.experiments.scenarios.harness.ScenarioReport`, whose
+    ``as_dict`` carries the same headline keys as :class:`ChaosReport`.
     """
+    if scenario is not None:
+        from repro.experiments.scenarios import run_scenario
+
+        return run_scenario(
+            scenario=scenario,
+            plan_name=plan_name,
+            seed=seed,
+            scale=scale,
+            loss=loss,
+            timeline=timeline,
+            calibration=calibration,
+            telemetry=telemetry,
+            executor_factory=executor_factory,
+        )
     timeline = timeline if timeline is not None else ChaosTimeline()
     game_map = GameMap(seed=seed)
     placement = microbenchmark_placement(game_map)
@@ -385,7 +408,7 @@ def run_chaos(
         telemetry.schedule_metrics(horizon)
     executor.run(until=horizon)
 
-    check_after = _check_after(plan_name, timeline)
+    check_after = timeline.check_after_ms(plan)
     expected = 0
     checked = 0
     missed: List[Tuple[int, str]] = []

@@ -34,6 +34,7 @@ __all__ = [
     "bench_scheduler",
     "bench_fault_overhead",
     "bench_trace_overhead",
+    "bench_invariant_overhead",
     "bench_end_to_end",
     "run_perfbench",
     "default_output_path",
@@ -561,6 +562,88 @@ def bench_trace_overhead(sends: int = 100_000, e2e_scale: float = 0.05
     return results
 
 
+def bench_invariant_overhead(deliveries: int = 50_000, e2e_scale: float = 0.1
+                             ) -> Dict[str, object]:
+    """Cost of the invariant monitor: nil when absent, cheap when armed.
+
+    Micro arms drive :meth:`GCopssHost._handle_update` directly with
+    fresh multicast packets (the hot path the monitor's ``on_deliver``
+    check rides on):
+
+    * **disabled** — no hook installed; the single ``None`` check every
+      unmonitored run pays;
+    * **monitored** — :class:`~repro.sim.invariants.InvariantMonitor`
+      installed with a covering ledger entry, so each delivery runs the
+      full duplicate + phantom check.
+
+    The **e2e** block replays one scenario × chaos cell with the monitor
+    off and on, asserting the report digest and node counters are
+    bit-identical — the monitor observes, never steers.
+    """
+    from repro.core.engine import GCopssHost, GCopssRouter
+    from repro.core.packets import MulticastPacket
+    from repro.sim.invariants import InvariantMonitor, SubscriptionLedger
+    from repro.sim.network import Network
+
+    perf = time.perf_counter
+    cd = Name(["1", "2"])
+
+    def one_arm(with_monitor: bool) -> float:
+        network = Network()
+        router = GCopssRouter(network, "R")
+        host = GCopssHost(network, "h")
+        network.connect(host, router, delay=0.1)
+        face = host.face_toward(router)
+        if with_monitor:
+            ledger = SubscriptionLedger()
+            ledger.note("h", 0.0, [cd])
+            InvariantMonitor(ledger).install(network)
+        batch = 10_000
+        elapsed = 0.0
+        done = 0
+        while done < deliveries:
+            n = min(batch, deliveries - done)
+            packets = [
+                MulticastPacket(cd=cd, payload_size=64, publisher="p", sequence=i)
+                for i in range(done, done + n)
+            ]
+            start = perf()
+            for packet in packets:
+                host._handle_update(packet, face)
+            elapsed += perf() - start
+            done += n
+        return elapsed
+
+    disabled = one_arm(False)
+    monitored = one_arm(True)
+    results: Dict[str, object] = {
+        "deliveries": deliveries,
+        "disabled": _rate(disabled, deliveries),
+        "monitored": _rate(monitored, deliveries),
+        "monitored_overhead_ratio": round(monitored / disabled, 3),
+    }
+
+    from repro.experiments.scenarios import run_scenario
+
+    start = perf()
+    off = run_scenario("day-night", "rp-crash", scale=e2e_scale, monitor=False)
+    off_s = perf() - start
+    start = perf()
+    on = run_scenario("day-night", "rp-crash", scale=e2e_scale, monitor=True)
+    on_s = perf() - start
+    results["e2e"] = {
+        "cell": "day-night|rp-crash|1",
+        "scale": e2e_scale,
+        "off_s": round(off_s, 3),
+        "on_s": round(on_s, 3),
+        "overhead_ratio": round(on_s / off_s, 3),
+        "digest_identical": off.digest() == on.digest(),
+        "counters_identical": off.node_counters == on.node_counters,
+        "invariant_ok": on.invariant_ok,
+    }
+    return results
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -590,6 +673,10 @@ def run_perfbench(
             sends=20_000 if quick else 100_000,
             e2e_scale=0.01 if quick else 0.05,
         ),
+        "invariant_overhead": bench_invariant_overhead(
+            deliveries=10_000 if quick else 50_000,
+            e2e_scale=0.05 if quick else 0.2,
+        ),
         "end_to_end": bench_end_to_end(
             players=players if not quick else 124,
             updates=updates if not quick else 400,
@@ -608,6 +695,7 @@ def render_perfbench(report: Dict[str, object]) -> str:
     e2e = report["end_to_end"]
     fault = report["fault_overhead"]
     trace = report["trace_overhead"]
+    inv = report["invariant_overhead"]
     lines = [
         "Forwarding fast-path benchmark",
         f"  name parse (warm, interned): {report['name_ops']['parse_warm']['us_per_op']} us/op",
@@ -628,6 +716,11 @@ def render_perfbench(report: Dict[str, object]) -> str:
         f"  ({trace['recording_overhead_ratio']}x); e2e telemetry on/off"
         f" {trace['e2e']['overhead_ratio']}x, counters identical:"
         f" {trace['e2e']['counters_identical']}",
+        f"  invariant monitor disabled: {inv['disabled']['us_per_op']} us/delivery"
+        f"  monitored: {inv['monitored']['us_per_op']} us/delivery"
+        f"  ({inv['monitored_overhead_ratio']}x); e2e digest identical:"
+        f" {inv['e2e']['digest_identical']}, counters identical:"
+        f" {inv['e2e']['counters_identical']}",
         f"  end-to-end ({e2e['players']} players, {e2e['updates']} updates):"
         f" cached {e2e['cached_s']}s vs bypass {e2e['bypass_s']}s"
         f" ({e2e['speedup']}x), counters identical: {e2e['counters_identical']}",

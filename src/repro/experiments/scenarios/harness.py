@@ -1,0 +1,644 @@
+"""Scenario × chaos matrix harness: replay any script under any plan.
+
+One :func:`run_scenario` call is one matrix cell: a registered scenario
+script (the workload), a named :class:`~repro.sim.faults.FaultPlan`
+(the weather) and a seed, replayed on the Fig. 3b testbed with the full
+recovery stack, judged by the :class:`~repro.sim.invariants
+.InvariantMonitor` instead of the chaos harness's hand-rolled
+bookkeeping.  The report digest covers the checked miss set, delivery
+counts, injected drops, node counters and the script's own content
+hash, so a cell is reproducible byte-for-byte across processes and
+executor backends — ``BENCH_scenarios.json`` commits those digests and
+CI replays a slice of the matrix against them.
+
+Division of labour with the monitor:
+
+* the harness owns the *ground truth*: it drives every subscription
+  change through the :class:`~repro.sim.invariants.SubscriptionLedger`
+  and records deliveries with its own ``on_update`` recorder;
+* the monitor owns the *online safety checks* (duplicates, phantoms)
+  and the orphaned-ST sweep audit;
+* liveness is judged by the shared pure
+  :func:`~repro.sim.invariants.expected_deliveries`, always fed the
+  harness's delivery record — so a monitored and an unmonitored run
+  produce the identical digest, which the ``invariant_overhead``
+  perfbench section turns into a regression gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.balancer import RpLoadBalancer, SplitPolicy, default_refiner
+from repro.core.engine import GCopssHost, GCopssNetworkBuilder, GCopssRouter
+from repro.core.planes import RecoveryConfig
+from repro.core.rp import RpTable
+from repro.core.snapshot import QrSnapshotFetcher, SnapshotBroker, snapshot_name
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.chaos import ChaosTimeline, build_plan
+from repro.experiments.scenarios.base import Scenario, ScenarioScript
+from repro.experiments.scenarios.generators import BUILTIN_SCENARIOS, initial_placement
+from repro.game.map import GameMap
+from repro.names import ROOT, Name
+from repro.ndn.engine import install_routes
+from repro.obs.session import TelemetrySession
+from repro.obs.tracer import render_chain
+from repro.sim.faults import FaultInjector
+from repro.sim.invariants import (
+    InvariantMonitor,
+    SubscriptionLedger,
+    Violation,
+    refresh_budget,
+)
+from repro.sim.stats import LatencyRecorder, summarize
+from repro.topology.benchmark import build_benchmark_topology
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "get_scenario",
+    "register_scenario",
+    "ScenarioReport",
+    "run_scenario",
+    "run_matrix",
+]
+
+#: Broker connectivity (access router, one-way delay) when a scenario
+#: declares ``uses_broker``; R1 so the broker sits beside the root RP.
+_BROKER_ROUTER = "R1"
+_BROKER_DELAY_MS = 0.5
+
+#: Which router a scripted ``split`` event sheds to.  The cascade shape
+#: mirrors the chaos harness (R1 -> R4) and extends it one hop for the
+#: flash-crowd second-stage split (R4 -> R5).
+_SPLIT_CANDIDATES: Dict[str, List[str]] = {"R1": ["R4"], "R4": ["R5"]}
+
+#: Objects fetched per visible CD on a reconnect snapshot pull — enough
+#: to push real QR traffic through the broker without drowning the run.
+_SNAPSHOT_OBJECTS_PER_CD = 3
+
+_REGISTRY: Dict[str, Scenario] = {s.name: s for s in BUILTIN_SCENARIOS}
+
+SCENARIO_NAMES: Tuple[str, ...] = tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {tuple(sorted(_REGISTRY))}"
+        ) from None
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (tests and extensions)."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+@dataclass
+class ScenarioReport:
+    """One (scenario, plan, seed) matrix cell, JSON-serialisable.
+
+    Carries the same headline keys as
+    :class:`~repro.experiments.chaos.ChaosReport` (the chaos CLI prints
+    either interchangeably) plus the scenario block, the invariant
+    verdict and the recovery-SLO numbers.
+    """
+
+    scenario: dict
+    plan: dict
+    seed: int
+    scale: float
+    loss: float
+    check_after_ms: float
+    events_total: int
+    events_checked: int
+    deliveries_expected: int
+    deliveries_got: int
+    permanent_misses: int
+    missed_sample: List[Tuple[int, str]]
+    invariant_ok: bool
+    split: Optional[Tuple[str, List[str]]]
+    splits: List[Tuple[str, Optional[str]]]
+    fault_stats: dict
+    node_counters: Dict[str, int]
+    latency: dict
+    verdict: dict
+    slo: dict
+    timeline: dict = field(default_factory=dict)
+    snapshot: dict = field(default_factory=dict)
+    #: Telemetry findings when recorded; outside the digest so traced
+    #: and untraced runs stay digest-comparable (same rule as chaos).
+    trace: dict = field(default_factory=dict)
+
+    def digest(self) -> str:
+        """Content hash for cell-level reproducibility checks."""
+        payload = json.dumps(
+            {
+                "script": self.scenario.get("script_digest"),
+                "missed": sorted(self.missed_sample),
+                "expected": self.deliveries_expected,
+                "got": self.deliveries_got,
+                "dropped": self.fault_stats.get("dropped", 0),
+                "counters": self.node_counters,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable report body (CLI output and smoke tests)."""
+        return {
+            "scenario": self.scenario,
+            "plan": self.plan,
+            "seed": self.seed,
+            "scale": self.scale,
+            "loss": self.loss,
+            "check_after_ms": self.check_after_ms,
+            "events_total": self.events_total,
+            "events_checked": self.events_checked,
+            "deliveries_expected": self.deliveries_expected,
+            "deliveries_got": self.deliveries_got,
+            "permanent_misses": self.permanent_misses,
+            "missed_sample": self.missed_sample[:50],
+            "invariant_ok": self.invariant_ok,
+            "split": self.split,
+            "splits": self.splits,
+            "fault_stats": self.fault_stats,
+            "node_counters": self.node_counters,
+            "latency": self.latency,
+            "verdict": self.verdict,
+            "slo": self.slo,
+            "timeline": self.timeline,
+            "snapshot": self.snapshot,
+            "trace": self.trace,
+            "digest": self.digest(),
+        }
+
+
+def run_scenario(
+    scenario: str = "flash-crowd",
+    plan_name: str = "none",
+    seed: int = 1,
+    scale: float = 1.0,
+    loss: float = 0.05,
+    timeline: Optional[ChaosTimeline] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    telemetry: Optional[TelemetrySession] = None,
+    executor_factory=None,
+    monitor: bool = True,
+) -> ScenarioReport:
+    """Replay one scenario script under one fault plan and judge it.
+
+    Deterministic in ``(scenario, plan, seed, scale, loss, timeline)``
+    — and, by construction, in everything else: the report digest is
+    identical with ``monitor`` on or off, with or without ``telemetry``,
+    and across serial and sharded ``executor_factory`` backends.
+    """
+    script = get_scenario(scenario)(seed, scale)
+    if timeline is None:
+        timeline = ChaosTimeline(refresh_interval_ms=script.refresh_interval_ms)
+    refresh = timeline.refresh_interval_ms
+
+    game_map = GameMap(seed=seed)
+    hierarchy = game_map.hierarchy
+    placement = initial_placement()
+
+    topo = build_benchmark_topology(
+        router_factory=lambda net, name: GCopssRouter(
+            net,
+            name,
+            service_time=calibration.testbed_copss_forward_ms,
+            rp_service_time=calibration.rp_service_ms,
+        ),
+        host_factory=GCopssHost,
+        host_names=sorted(placement),
+        inter_router_delay_ms=calibration.testbed_router_delay_ms,
+        host_delay_ms=calibration.testbed_host_delay_ms,
+    )
+    network = topo.network
+
+    broker: Optional[SnapshotBroker] = None
+    if script.uses_broker:
+        # Broker joins the fabric before the builder stamps faces/RPs.
+        broker = SnapshotBroker(
+            network, "broker", objects_by_cd=game_map.objects_by_cd()
+        )
+        network.connect(broker, network.nodes[_BROKER_ROUTER], _BROKER_DELAY_MS)
+
+    rp_table = RpTable()
+    rp_table.assign(ROOT, "R1")
+    GCopssNetworkBuilder(network, rp_table).install()
+    from repro.sim.engine import SerialExecutor
+
+    # Same seam as run_chaos: the executor exists before any scheduling.
+    executor = (
+        executor_factory(network) if executor_factory else SerialExecutor(network)
+    )
+
+    recovery = RecoveryConfig.full(
+        st_ttl_ms=12 * refresh,
+        sweep_interval_ms=refresh,
+        refresh_interval_ms=refresh,
+        retry_interval_ms=250.0,
+        max_retries=8,
+    )
+    routers = [n for n in network.nodes.values() if isinstance(n, GCopssRouter)]
+    for router in routers:
+        router.enable_recovery(recovery)
+
+    # Ground truth from the first instant: the ledger's t=0 epochs are
+    # the initial placement, and every scripted move/offline/reconnect
+    # below re-notes it from inside the scheduled callback.
+    ledger = SubscriptionLedger()
+    hosts: Dict[str, GCopssHost] = {h.name: h for h in topo.hosts}  # type: ignore[misc]
+    for player, host in hosts.items():
+        subs = hierarchy.subscriptions_for(placement[player])
+        host.subscribe(subs)
+        host.start_refresh(refresh)
+        ledger.note(player, 0.0, subs)
+    if broker is not None:
+        broker.start()
+        broker.start_refresh(refresh)
+        for cd in broker.objects:
+            install_routes(network, snapshot_name(cd, 0).parent, broker)
+        ledger.note("broker", 0.0, broker.objects.keys())
+
+    executor.run(until=timeline.subscribe_ms)  # converge fault-free
+    network.reset_counters()
+
+    plan = build_plan(plan_name, seed, loss, timeline)
+    injector = FaultInjector(network, plan).install()
+    if telemetry is not None:
+        telemetry.install(network, fault_stats=injector.stats, executor=executor)
+
+    # The monitor tees behind the telemetry tracer on the node slots, so
+    # it must install last — after the injector and the tracer.  Phantom
+    # grace = the orphan-audit bound: deliveries riding an ST entry the
+    # sweep hasn't reaped yet are soft-state residue, not leaks.
+    inv = InvariantMonitor(
+        ledger,
+        phantom_grace_ms=recovery.st_ttl_ms + 2 * recovery.sweep_interval_ms,
+    )
+    if monitor:
+        inv.install(network)
+
+    # Balancers for every router the script splits; candidates follow
+    # the chaos cascade map.  spawn_on_split stays off: the sharded
+    # executor fixes the topology at construction.
+    split_events = [e for e in script.events if e.kind == "split"]
+    on_split_log: List[Tuple[str, Tuple[Name, ...]]] = []
+    balancers: Dict[str, RpLoadBalancer] = {}
+    for event in split_events:
+        router_name = event.player
+        if router_name in balancers:
+            continue
+        if router_name not in _SPLIT_CANDIDATES:
+            raise ValueError(f"no split candidates declared for {router_name!r}")
+        import random as _random
+
+        balancers[router_name] = RpLoadBalancer(
+            network.nodes[router_name],  # type: ignore[arg-type]
+            candidates=list(_SPLIT_CANDIDATES[router_name]),
+            queue_threshold=10**9,  # the script decides, never the queue
+            policy=SplitPolicy.RANDOM,
+            refiner=default_refiner(hierarchy),
+            rng=_random.Random(f"balancer:{router_name}:{seed}"),
+            spawn_on_split=False,
+            on_split=lambda new_rp, moved: on_split_log.append((new_rp, moved)),
+        )
+
+    # Delivery bookkeeping (the harness's own, independent of the
+    # monitor — see the module docstring on why both exist).
+    got: Dict[Tuple[int, str], float] = {}
+    latency = LatencyRecorder("scenario")
+
+    def on_update(host: GCopssHost, packet) -> None:
+        if packet.sequence >= 0:
+            got.setdefault((packet.sequence, host.name), host.sim.now)
+            latency.record(host.sim.now - packet.created_at)
+
+    for host in hosts.values():
+        host.on_update.append(on_update)
+    if broker is not None:
+        broker.on_update.append(on_update)
+
+    offset = executor.now
+    uid_by_seq: Dict[int, int] = {}
+    split_results: List[Tuple[str, Optional[str]]] = []
+    fetch_stats = {"started": 0, "completed": 0}
+    fetchers: List[QrSnapshotFetcher] = []
+
+    def do_publish(sequence: int, player: str, cd: str, size: int) -> None:
+        packet = hosts[player].publish(cd, size, sequence=sequence)
+        if telemetry is not None:
+            uid_by_seq[sequence] = packet.uid
+
+    def do_move(player: str, area: str) -> None:
+        host = hosts[player]
+        subs = hierarchy.subscriptions_for(area)
+        host.set_subscriptions(subs)
+        ledger.note(player, host.sim.now, subs)
+
+    def do_offline(player: str) -> None:
+        host = hosts[player]
+        host.stop_refresh()
+        host.unsubscribe(list(host.subscriptions))
+        ledger.note_offline(player, host.sim.now)
+
+    def do_reconnect(player: str, area: str) -> None:
+        host = hosts[player]
+        subs = hierarchy.subscriptions_for(area)
+        host.subscribe(subs)
+        host.start_refresh(refresh)
+        ledger.note(player, host.sim.now, subs)
+        if broker is not None:
+            # The snapshot storm: catch up on every visible object.
+            needed = {
+                cd: game_map.objects_in(cd)[:_SNAPSHOT_OBJECTS_PER_CD]
+                for cd in sorted(hierarchy.visible_leaf_cds(area))
+            }
+            fetch_stats["started"] += 1
+
+            def done(_fetcher) -> None:
+                fetch_stats["completed"] += 1
+
+            fetchers.append(
+                QrSnapshotFetcher(
+                    host,
+                    needed,
+                    window=5,
+                    on_complete=done,
+                    interest_lifetime=1000.0,
+                    max_retries=3,
+                    retry_backoff_ms=200.0,
+                )
+            )
+
+    # A scripted split can race the plan: a cascade's second stage finds
+    # no prefixes while the first handoff retries through a blackout, so
+    # re-attempt on the refresh cadence — the stand-in for the pressure
+    # trigger, which would also keep firing once load reaches the RP.
+    _SPLIT_ATTEMPTS = 6
+
+    def do_split(router_name: str, attempt: int = 0) -> None:
+        result = balancers[router_name].split()
+        retry_at = executor.now + refresh
+        if result is None and attempt + 1 < _SPLIT_ATTEMPTS and retry_at < horizon:
+            executor.schedule_external(
+                router_name, retry_at, do_split, router_name, attempt + 1
+            )
+            return
+        split_results.append((router_name, result))
+
+    for sequence, event in script.publishes():
+        executor.schedule_external(
+            event.player,
+            offset + event.at_ms,
+            do_publish,
+            sequence,
+            event.player,
+            event.cd,
+            event.size,
+        )
+    for event in script.events:
+        if event.kind == "publish":
+            continue
+        t = offset + event.at_ms
+        if event.kind == "move":
+            executor.schedule_external(event.player, t, do_move, event.player, event.area)
+        elif event.kind == "offline":
+            executor.schedule_external(event.player, t, do_offline, event.player)
+        elif event.kind == "reconnect":
+            executor.schedule_external(
+                event.player, t, do_reconnect, event.player, event.area
+            )
+        elif event.kind == "split":
+            executor.schedule_external(event.player, t, do_split, event.player)
+
+    horizon = offset + script.duration_ms + timeline.drain_ms
+    if telemetry is not None:
+        telemetry.schedule_metrics(horizon)
+    executor.run(until=horizon)
+
+    # ------------------------------------------------------------------
+    # Judgement
+    # ------------------------------------------------------------------
+    publishes = [
+        (sequence, offset + event.at_ms, Name.coerce(event.cd), event.player)
+        for sequence, event in script.publishes()
+    ]
+    clear = plan.data_blackout_clear_ms()
+    fault_clear = clear if clear is not None else 0.0
+    check_after = timeline.check_after_ms(plan, script.extra_recovery_margin_ms)
+
+    if monitor and set(inv.deliveries) != set(got):
+        only_monitor = len(set(inv.deliveries) - set(got))
+        only_harness = len(set(got) - set(inv.deliveries))
+        inv.violations.append(
+            Violation(
+                t=executor.now,
+                kind="monitor_divergence",
+                host="-",
+                detail=(
+                    f"monitor-only deliveries: {only_monitor}, "
+                    f"harness-only: {only_harness}"
+                ),
+            )
+        )
+
+    # Orphan audit: one TTL for refreshes to stop landing, plus two
+    # sweep periods of slack for the reaper to run.
+    inv.check_subscription_tables(
+        network, executor.now, grace_ms=recovery.st_ttl_ms + 2 * recovery.sweep_interval_ms
+    )
+
+    host_population = len(hosts) + (1 if broker is not None else 0)
+    all_hosts = list(hosts.values()) + ([broker] if broker is not None else [])
+    refreshes = sum(r.stats.subscription_refreshes for r in routers) + sum(
+        h.stats.subscription_refreshes for h in all_hosts
+    )
+    budget = refresh_budget(
+        host_population, horizon, refresh, script.refresh_churn_factor
+    )
+    if refreshes > budget:
+        inv.violations.append(
+            Violation(
+                t=executor.now,
+                kind="refresh_churn",
+                host="-",
+                detail=f"{refreshes} re-Subscribes over budget {budget:.0f}",
+            )
+        )
+
+    verdict = inv.verdict(
+        publishes,
+        check_after_ms=check_after,
+        horizon_ms=horizon,
+        stability_window_ms=script.stability_window_ms,
+        fault_clear_ms=fault_clear,
+        deliveries=got,  # always the harness record: digest parity on/off
+        join_margin_ms=timeline.recovery_margin_ms,
+    )
+    if monitor:
+        inv.uninstall()
+
+    # Every scripted split must have resolved (not still mid-retry at the
+    # horizon) and succeeded.
+    splits_ok = len(split_results) == len(split_events) and all(
+        new_rp is not None for _router, new_rp in split_results
+    )
+
+    counters = {
+        "seq_gaps": sum(h.stats.seq_gaps for h in all_hosts),
+        "seq_missing": sum(h.stats.seq_missing for h in all_hosts),
+        "seq_late": sum(h.stats.seq_late for h in all_hosts),
+        "control_retransmits": sum(r.stats.control_retransmits for r in routers),
+        "subscriptions_expired": sum(r.stats.subscriptions_expired for r in routers),
+        "subscription_refreshes": refreshes,
+        "tunnel_bounces": sum(r.stats.tunnel_bounces for r in routers),
+        "handoff_rollbacks": sum(r.stats.handoff_rollbacks for r in routers),
+        "duplicates_suppressed": sum(h.stats.duplicates_suppressed for h in all_hosts),
+    }
+
+    trace_block: dict = {}
+    if telemetry is not None:
+        tracer = telemetry.tracer
+        chains = []
+        for sequence, receiver in verdict.missed_sample[:3]:
+            tid = uid_by_seq.get(sequence)
+            if tid is None:
+                continue
+            chains.append(
+                {
+                    "sequence": sequence,
+                    "receiver": receiver,
+                    "trace_id": tid,
+                    "chain": render_chain(tracer.hop_chain(tid, receiver=receiver)),
+                }
+            )
+        trace_block = {
+            "events_recorded": len(tracer.events),
+            "drop_reasons": tracer.drop_summary(),
+            "missed_chains": chains,
+        }
+        telemetry.finish()
+
+    return ScenarioReport(
+        scenario={
+            "name": script.name,
+            "description": get_scenario(scenario).description,
+            "script_digest": script.digest(),
+            "counts": script.counts(),
+            "duration_ms": script.duration_ms,
+            "uses_broker": script.uses_broker,
+            "monitored": monitor,
+        },
+        plan=plan.describe(),
+        seed=seed,
+        scale=scale,
+        loss=loss,
+        check_after_ms=check_after,
+        events_total=script.counts()["publish"],
+        events_checked=verdict.events_checked,
+        deliveries_expected=verdict.deliveries_expected,
+        deliveries_got=verdict.deliveries_got,
+        permanent_misses=verdict.permanent_misses,
+        missed_sample=verdict.missed_sample,
+        invariant_ok=verdict.ok and splits_ok,
+        split=(
+            (on_split_log[0][0], [str(p) for p in on_split_log[0][1]])
+            if on_split_log
+            else None
+        ),
+        splits=split_results,
+        fault_stats=injector.stats.as_dict(),
+        node_counters=counters,
+        latency=summarize(latency),
+        verdict=verdict.as_dict(),
+        slo={
+            "check_after_ms": check_after,
+            "fault_clear_ms": fault_clear,
+            "last_miss_ms": verdict.last_miss_ms,
+            "recovery_time_ms": verdict.recovery_time_ms,
+            "refreshes": refreshes,
+            "refresh_budget": budget,
+        },
+        timeline={
+            "subscribe_ms": timeline.subscribe_ms,
+            "horizon_ms": horizon,
+        },
+        snapshot=dict(fetch_stats),
+        trace=trace_block,
+    )
+
+
+def run_matrix(
+    scenarios: Optional[List[str]] = None,
+    plans: Optional[List[str]] = None,
+    seeds: Tuple[int, ...] = (1,),
+    scale: float = 1.0,
+    loss: float = 0.05,
+    executor_factory=None,
+    monitor: bool = True,
+    progress: Optional[Callable[[str, dict], None]] = None,
+) -> dict:
+    """Run the scenario × plan × seed matrix; return the benchmark body.
+
+    The output is the ``BENCH_scenarios.json`` schema: deterministic
+    (no timestamps), one cell per ``"<scenario>|<plan>|<seed>"`` key,
+    each carrying the digest plus the recovery-SLO numbers.
+    """
+    from repro.experiments.chaos import PLAN_NAMES
+
+    scenario_names = list(scenarios) if scenarios else list(SCENARIO_NAMES)
+    plan_names = list(plans) if plans else list(PLAN_NAMES)
+    cells: Dict[str, dict] = {}
+    for scenario_name in scenario_names:
+        for plan_name in plan_names:
+            for seed in seeds:
+                report = run_scenario(
+                    scenario=scenario_name,
+                    plan_name=plan_name,
+                    seed=seed,
+                    scale=scale,
+                    loss=loss,
+                    executor_factory=executor_factory,
+                    monitor=monitor,
+                )
+                key = f"{scenario_name}|{plan_name}|{seed}"
+                cells[key] = {
+                    "digest": report.digest(),
+                    "script_digest": report.scenario["script_digest"],
+                    "invariant_ok": report.invariant_ok,
+                    "safety_ok": report.verdict["safety_ok"],
+                    "liveness_ok": report.verdict["liveness_ok"],
+                    "violation_kinds": report.verdict["violation_kinds"],
+                    "permanent_misses": report.permanent_misses,
+                    "deliveries_expected": report.deliveries_expected,
+                    "deliveries_got": report.deliveries_got,
+                    "check_after_ms": report.check_after_ms,
+                    "last_miss_ms": report.slo["last_miss_ms"],
+                    "recovery_time_ms": report.slo["recovery_time_ms"],
+                    "refreshes": report.slo["refreshes"],
+                    "injected_drops": report.fault_stats.get("dropped", 0),
+                    "splits": [list(s) for s in report.splits],
+                }
+                if progress is not None:
+                    progress(key, cells[key])
+    return {
+        "schema": 1,
+        "scale": scale,
+        "loss": loss,
+        "scenarios": scenario_names,
+        "plans": plan_names,
+        "seeds": list(seeds),
+        "cells": cells,
+    }

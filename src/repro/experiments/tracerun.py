@@ -146,16 +146,24 @@ def record_run(
     seed: int = 7,
     loss: float = 0.05,
     plan: str = "rp-split-lossy",
+    scenario: "str | None" = None,
     sample_every: int = 1,
     metrics_interval_ms: float = 100.0,
 ) -> Dict[str, object]:
-    """Record one run and export all three formats into ``out_dir``."""
+    """Record one run and export all three formats into ``out_dir``.
+
+    ``scenario`` (chaos workload only) swaps the fig-4 trace for a
+    registered scenario script — the recording then covers the full
+    scenario × plan cell, invariant monitor included.
+    """
     session = TelemetrySession(
         TelemetryConfig(
             sample_every=sample_every, metrics_interval_ms=metrics_interval_ms
         )
     )
     if workload == "fig4":
+        if scenario is not None:
+            raise ValueError("scenario recording needs workload='chaos'")
         outcome = run_fig4_traced(scale=scale, seed=seed, telemetry=session)
         extra: Dict[str, object] = {
             "deliveries": outcome["deliveries"],
@@ -165,7 +173,12 @@ def record_run(
         from repro.experiments.chaos import run_chaos
 
         report = run_chaos(
-            plan_name=plan, seed=seed, scale=scale, loss=loss, telemetry=session
+            plan_name=plan,
+            seed=seed,
+            scale=scale,
+            loss=loss,
+            telemetry=session,
+            scenario=scenario,
         )
         extra = {
             "invariant_ok": report.invariant_ok,
@@ -176,10 +189,11 @@ def record_run(
         raise ValueError(f"unknown workload {workload!r}; choose fig4 or chaos")
 
     events = list(session.tracer.events)
-    paths = session.export(out_dir, stem=workload)
+    stem = workload if scenario is None else f"{workload}-{scenario}"
+    paths = session.export(out_dir, stem=stem)
     example = pick_example_trace(events)
     return {
-        "workload": workload,
+        "workload": workload if scenario is None else f"{workload}:{scenario}",
         "scale": scale,
         "seed": seed,
         "sample_every": sample_every,

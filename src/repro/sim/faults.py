@@ -166,6 +166,38 @@ class FaultPlan:
     nodes: Dict[str, NodeFaults] = field(default_factory=dict)
     default: Optional[LinkFaults] = None
 
+    def data_blackout_clear_ms(self) -> Optional[float]:
+        """When the last data-affecting blackout ends (declared, not named).
+
+        A *blackout* is anything that can destroy data packets: a link
+        down window, a node crash, or in-scope (``all``/``data``)
+        probabilistic loss.  Returns ``None`` when the plan never
+        touches data (control-scoped loss only, or no faults at all) —
+        such a plan must deliver every update.  Windowed blackouts
+        return the latest end instant; an unbounded one (a crash with
+        no restart, or persistent in-scope loss) returns ``inf``.
+
+        Harnesses derive their delivery-invariant window from this plus
+        a declared recovery margin, so the check is a property of the
+        plan's data rather than of its name.
+        """
+        ends: List[float] = []
+        specs = list(self.links.values())
+        if self.default is not None:
+            specs.append(self.default)
+        for spec in specs:
+            for _start, end in spec.down:
+                ends.append(end)
+            if spec.scope != "control" and (spec.loss > 0.0 or spec.burst is not None):
+                ends.append(float("inf"))
+        for node_faults in self.nodes.values():
+            ends.append(
+                float("inf")
+                if node_faults.restart_at is None
+                else node_faults.restart_at
+            )
+        return max(ends) if ends else None
+
     def describe(self) -> dict:
         """JSON-friendly summary for chaos reports."""
         return {

@@ -109,6 +109,50 @@ class TestHandoffStateMachine:
         assert routers[2].decapsulations >= 1
         assert routers[0].relays >= 0  # publisher edge already re-routed
 
+    def test_replayed_handoff_does_not_resurrect_relinquished_prefix(self):
+        # A lossy ack flood makes the old RP retransmit its handoff; the
+        # replay can land after the new RP already shed the same prefix
+        # onward in a split cascade.  Re-adopting would leave two RPs
+        # flooding rival routes for the prefix.
+        net, routers, pub, sub = build_square()
+        net.sim.run()
+        packet = routers[0].initiate_handoff([Name.parse("/2")], "R1")
+        net.sim.run()
+        assert Name.parse("/2") in routers[1].rp_prefixes
+        routers[1].initiate_handoff([Name.parse("/2")], "R2")
+        net.sim.run()
+        assert routers[1].relinquished == {Name.parse("/2"): "R2"}
+        # Replay of the first handoff at R1 (old RP never saw the ack).
+        replay_face = routers[1].face_toward(routers[0])
+        routers[1].control.handle_handoff(packet, replay_face)
+        net.sim.run()
+        assert Name.parse("/2") not in routers[1].rp_prefixes
+        assert routers[1].relinquished == {Name.parse("/2"): "R2"}
+        for router in routers:
+            assert router.cd_routes.lookup("/2/x") == {"R2"}
+        # Delivery keeps working end to end through the final owner.
+        sub.subscribe(["/2"])
+        net.sim.run()
+        pub.publish("/2/x", payload_size=10)
+        net.sim.run()
+        assert sub.updates_received == 1
+
+    def test_handback_from_successor_readopts(self):
+        # The inverse case must still work: the *current* owner handing
+        # the prefix back is legitimate and clears the relay entry.
+        net, routers, pub, sub = build_square()
+        net.sim.run()
+        routers[0].initiate_handoff([Name.parse("/2")], "R1")
+        net.sim.run()
+        routers[1].initiate_handoff([Name.parse("/2")], "R2")
+        net.sim.run()
+        routers[2].initiate_handoff([Name.parse("/2")], "R1")
+        net.sim.run()
+        assert Name.parse("/2") in routers[1].rp_prefixes
+        assert Name.parse("/2") not in routers[1].relinquished
+        for router in routers:
+            assert router.cd_routes.lookup("/2/x") == {"R1"}
+
     def test_unsubscribe_after_migration_cleans_state(self):
         net, routers, pub, sub = build_square()
         sub.subscribe(["/2"])
