@@ -310,6 +310,49 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
         print(f"digests match {args.check} for all {len(body['cells'])} cells")
 
 
+def _cmd_live(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.experiments.live import (
+        check_live_regression,
+        render_live,
+        run_live_experiment,
+    )
+
+    out = Path(args.out) if args.out else Path("BENCH_live.json")
+    report = run_live_experiment(
+        routers=args.routers,
+        events=args.events,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        out_path=out,
+    )
+    print(
+        render_table(
+            f"Live wire: {report['spec']['routers']}-router localhost testbed "
+            "vs simulator",
+            ("metric", "value"),
+            render_live(report),
+        )
+    )
+    print(f"-> {out}")
+    if not report["match"]:
+        print("DIFFERENTIAL MISMATCH:")
+        for line in report["mismatches"]:
+            print("  ", line)
+        raise SystemExit(1)
+    if args.check:
+        problems = check_live_regression(
+            report, Path(args.check), tolerance=args.tolerance
+        )
+        if problems:
+            print(f"REGRESSION vs {args.check}:")
+            for line in problems:
+                print("  ", line)
+            raise SystemExit(1)
+        print(f"within budget of {args.check}")
+
+
 def _cmd_trace(args: argparse.Namespace) -> None:
     import json
 
@@ -372,6 +415,7 @@ _DISPATCH = {
     "scale": _cmd_scale,
     "chaos": _cmd_chaos,
     "scenarios": _cmd_scenarios,
+    "live": _cmd_live,
     "trace": _cmd_trace,
     "all": _cmd_all,
 }
@@ -481,6 +525,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-monitor", action="store_true",
                    help="run without the invariant monitor installed "
                         "(digests must not change)")
+
+    p = sub.add_parser(
+        "live",
+        help="live-wire testbed: real processes over TCP/UDP, "
+             "differential-checked against the simulator (BENCH_live.json)",
+    )
+    p.add_argument("--routers", type=int, default=3, choices=(3, 5),
+                   help="3 = smoke star topology, 5 = benchmark tree")
+    p.add_argument("--events", type=int, default=60,
+                   help="seeded trace length (publish events)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--time-scale", type=float, default=0.0,
+                   help="wall seconds per sim ms (0 = as fast as possible)")
+    p.add_argument("--out", type=str, default="",
+                   help="output path (default: BENCH_live.json at repo root)")
+    p.add_argument("--check", type=str, default="",
+                   help="gate against this committed benchmark: the "
+                        "differential must match and packets/s/core must "
+                        "stay above tolerance × committed")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="perf floor as a fraction of the committed value")
 
     p = sub.add_parser(
         "trace", help="causal packet tracing: record a run, query hop chains"

@@ -1,0 +1,108 @@
+"""The ``live`` experiment: differential check + packets/s perf budget.
+
+Runs the localhost live testbed (real processes, real TCP/UDP) and the
+discrete-event simulator on the same seeded trace and topology, requires
+exact counter agreement, and records the live data plane's throughput
+into ``BENCH_live.json``.
+
+Methodology for the perf number: the publish phase blasts the seeded
+trace over UDP and waits for observed quiescence; ``packets_carried`` is
+the cluster-wide link-counter delta over that phase (every hop of every
+packet, counted sender-side exactly once) and the wall time spans first
+datagram to last quiet poll.  ``packets_per_s_per_core`` divides by the
+number of router processes — the budget the codec and transport are
+optimized against.  Wall clocks vary wildly across CI hosts, so the
+regression gate is a generous floor (``tolerance`` × committed value),
+while the differential match is exact and tolerance-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.net.testbed import run_differential
+from repro.net.world import make_trace, spec_for
+
+__all__ = ["run_live_experiment", "check_live_regression", "render_live"]
+
+
+def run_live_experiment(
+    routers: int = 3,
+    events: int = 60,
+    seed: int = 7,
+    time_scale: float = 0.0,
+    out_path: "Path | None" = None,
+) -> Dict[str, Any]:
+    """Run the differential on ``routers`` and report counters + perf."""
+    spec = spec_for(routers)
+    trace = make_trace(spec, seed=seed, events=events)
+    result = run_differential(spec, trace, time_scale=time_scale)
+    report: Dict[str, Any] = {
+        "spec": {
+            "routers": len(spec["routers"]),
+            "hosts": len(spec["hosts"]),
+            "events": events,
+            "seed": seed,
+            "time_scale": time_scale,
+        },
+        "match": result["match"],
+        "mismatches": result["mismatches"],
+        "deliveries": result["live"]["deliveries_total"],
+        "published": result["live"]["published_total"],
+        "drops": result["live"]["drops_total"],
+        "link_packets": result["live"]["link_packets"],
+        "link_bytes": result["live"]["link_bytes"],
+        "delivered_by_cd": result["live"]["delivered_by_cd"],
+        "perf": result["perf"],
+        "host": {"cpus": os.cpu_count()},
+    }
+    if out_path is not None:
+        out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def check_live_regression(
+    report: Dict[str, Any], committed_path: Path, tolerance: float = 0.25
+) -> List[str]:
+    """Gate a fresh run against the committed benchmark.
+
+    The differential must match exactly; the perf floor is
+    ``tolerance × committed packets_per_s_per_core`` — loose enough for
+    shared CI runners, tight enough to catch a transport that fell off a
+    cliff.
+    """
+    problems: List[str] = []
+    if not report["match"]:
+        problems.append(f"differential mismatch: {report['mismatches']}")
+    committed = json.loads(committed_path.read_text())
+    floor = committed["perf"]["packets_per_s_per_core"] * tolerance
+    got = report["perf"]["packets_per_s_per_core"]
+    if got < floor:
+        problems.append(
+            f"packets/s/core {got:.0f} fell below floor {floor:.0f} "
+            f"({tolerance:.0%} of committed "
+            f"{committed['perf']['packets_per_s_per_core']:.0f})"
+        )
+    return problems
+
+
+def render_live(report: Dict[str, Any]) -> List[tuple]:
+    """Rows for the CLI table."""
+    perf = report["perf"]
+    return [
+        ("routers (processes)", report["spec"]["routers"]),
+        ("hosts", report["spec"]["hosts"]),
+        ("trace events", report["spec"]["events"]),
+        ("differential", "MATCH" if report["match"] else "MISMATCH"),
+        ("deliveries", report["deliveries"]),
+        ("drops", report["drops"]),
+        ("link packets", report["link_packets"]),
+        ("udp received / tcp resent",
+         f"{perf['udp_received']} / {perf['tcp_resent']}"),
+        ("publish-phase wall s", round(perf["wall_s"], 3)),
+        ("packets/s", round(perf["packets_per_s"], 1)),
+        ("packets/s per core", round(perf["packets_per_s_per_core"], 1)),
+    ]

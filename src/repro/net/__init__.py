@@ -1,0 +1,21 @@
+"""Live-wire mode: the G-COPSS planes over real sockets.
+
+The simulator proved the protocol; this package runs it.  The plane/role
+split (PR 2) made node logic transport-agnostic and the packed binary
+codec (PR 6) made packets serializable without pickle — ``repro.net``
+combines the two into a deployable system:
+
+* :mod:`repro.net.codec` — the shared tagged-value/packet codec plus a
+  versioned, length-prefixed, CRC-checked stream framing;
+* :mod:`repro.net.clock` — a monotonic-clock timer wheel standing in for
+  the discrete-event :class:`~repro.sim.engine.Simulator`;
+* :mod:`repro.net.transport` — asyncio TCP/UDP glue honoring the same
+  ``Face.send`` contract the simulator uses;
+* :mod:`repro.net.world` — topology specs shared by live processes and
+  the simulator reference, and the differential report comparator;
+* :mod:`repro.net.runner` — one live node process
+  (``python -m repro.net.runner``);
+* :mod:`repro.net.testbed` — the launcher/driver that spawns a localhost
+  topology, plays a seeded trace, and differential-checks the result
+  against the simulator.
+"""

@@ -30,6 +30,13 @@ Layout (all little-endian):
   (``trace_id_of`` keys off uids) and byte accounting survive the hop
   bit-exactly.
 
+The tagged-value/packet codec itself lives in :mod:`repro.net.codec`
+(live-wire mode frames the identical encoding onto real sockets); this
+module re-exports it unchanged — the cross-shard exchange format is
+byte-for-byte what it was when the codec lived here — and keeps the
+worker-protocol frame ops (``RUN``/``DONE``/...) that only the
+multiprocess executor speaks.
+
 Unencodable values fail loudly with the offending type: silently falling
 back to pickle would un-fix the exact problem this module exists to fix.
 """
@@ -37,23 +44,15 @@ back to pickle would un-fix the exact problem this module exists to fix.
 from __future__ import annotations
 
 import struct
-from dataclasses import fields as _dataclass_fields
-from typing import Any, Dict, List, Optional, Tuple, Type
+from typing import Any, List, Optional, Tuple
 
-from repro.core.packets import (
-    CdHandoffPacket,
-    ConfirmPacket,
-    FibAddPacket,
-    FibRemovePacket,
-    JoinPacket,
-    LeavePacket,
-    MulticastPacket,
-    SubscribePacket,
-    UnsubscribePacket,
+from repro.net.codec import (
+    PACKET_TYPES,
+    decode_packet,
+    decode_value,
+    encode_packet,
+    encode_value,
 )
-from repro.names import Name
-from repro.ndn.packets import Data, Interest
-from repro.packets import Packet
 
 __all__ = [
     "PACKET_TYPES",
@@ -81,173 +80,12 @@ __all__ = [
 #: (arrival_time, sender_rank, send_order, dst_node, src_node, packet)
 WireMsg = Tuple[float, int, int, str, str, Any]
 
-#: Every packet class that can cross a shard boundary, in wire-id order.
-#: Order is the wire format — append only.
-PACKET_TYPES: Tuple[Type[Packet], ...] = (
-    Packet,
-    Interest,
-    Data,
-    SubscribePacket,
-    UnsubscribePacket,
-    MulticastPacket,
-    FibAddPacket,
-    FibRemovePacket,
-    CdHandoffPacket,
-    JoinPacket,
-    ConfirmPacket,
-    LeavePacket,
-)
-_TYPE_ID: Dict[Type[Packet], int] = {cls: i for i, cls in enumerate(PACKET_TYPES)}
-#: Dataclass field names per type, base fields (size, created_at, uid)
-#: first — the per-class wire schema.
-_FIELDS: Dict[Type[Packet], Tuple[str, ...]] = {
-    cls: tuple(f.name for f in _dataclass_fields(cls)) for cls in PACKET_TYPES
-}
-
 OP_READY, OP_RUN, OP_DONE, OP_FINISH, OP_RESULT = range(5)
 
-# Value tags.
-_T_NONE, _T_TRUE, _T_FALSE, _T_INT, _T_FLOAT, _T_STR = range(6)
-_T_BYTES, _T_NAME, _T_TUPLE, _T_LIST, _T_DICT, _T_PACKET = range(6, 12)
-
-_Q = struct.Struct("<q")
-_D = struct.Struct("<d")
 _I = struct.Struct("<I")
 _MSG_HEAD = struct.Struct("<diI")
 _RUN_HEAD = struct.Struct("<dBI")
 _DONE_HEAD = struct.Struct("<BddI")
-
-
-# ----------------------------------------------------------------------
-# Tagged values
-# ----------------------------------------------------------------------
-def encode_value(buf: bytearray, value: Any) -> None:
-    """Append one tagged value to ``buf``."""
-    if value is None:
-        buf.append(_T_NONE)
-    elif value is True:
-        buf.append(_T_TRUE)
-    elif value is False:
-        buf.append(_T_FALSE)
-    elif isinstance(value, int):
-        buf.append(_T_INT)
-        buf += _Q.pack(value)
-    elif isinstance(value, float):
-        buf.append(_T_FLOAT)
-        buf += _D.pack(value)
-    elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        buf.append(_T_STR)
-        buf += _I.pack(len(raw))
-        buf += raw
-    elif isinstance(value, bytes):
-        buf.append(_T_BYTES)
-        buf += _I.pack(len(value))
-        buf += value
-    elif isinstance(value, Name):
-        raw = str(value).encode("utf-8")
-        buf.append(_T_NAME)
-        buf += _I.pack(len(raw))
-        buf += raw
-    elif isinstance(value, tuple):
-        buf.append(_T_TUPLE)
-        buf += _I.pack(len(value))
-        for item in value:
-            encode_value(buf, item)
-    elif isinstance(value, list):
-        buf.append(_T_LIST)
-        buf += _I.pack(len(value))
-        for item in value:
-            encode_value(buf, item)
-    elif isinstance(value, dict):
-        buf.append(_T_DICT)
-        buf += _I.pack(len(value))
-        for key, item in value.items():
-            encode_value(buf, key)
-            encode_value(buf, item)
-    elif isinstance(value, Packet):
-        buf.append(_T_PACKET)
-        encode_packet(buf, value)
-    else:
-        raise TypeError(
-            f"cannot wire-encode {type(value).__name__}: {value!r} — "
-            "extend repro.parallel.wire rather than falling back to pickle"
-        )
-
-
-def decode_value(buf, offset: int) -> Tuple[Any, int]:
-    """Decode one tagged value at ``offset``; returns (value, new offset)."""
-    tag = buf[offset]
-    offset += 1
-    if tag == _T_NONE:
-        return None, offset
-    if tag == _T_TRUE:
-        return True, offset
-    if tag == _T_FALSE:
-        return False, offset
-    if tag == _T_INT:
-        return _Q.unpack_from(buf, offset)[0], offset + 8
-    if tag == _T_FLOAT:
-        return _D.unpack_from(buf, offset)[0], offset + 8
-    if tag in (_T_STR, _T_NAME, _T_BYTES):
-        (length,) = _I.unpack_from(buf, offset)
-        offset += 4
-        raw = bytes(buf[offset : offset + length])
-        offset += length
-        if tag == _T_BYTES:
-            return raw, offset
-        text = raw.decode("utf-8")
-        return (Name.parse(text) if tag == _T_NAME else text), offset
-    if tag in (_T_TUPLE, _T_LIST):
-        (count,) = _I.unpack_from(buf, offset)
-        offset += 4
-        items = []
-        for _ in range(count):
-            item, offset = decode_value(buf, offset)
-            items.append(item)
-        return (tuple(items) if tag == _T_TUPLE else items), offset
-    if tag == _T_DICT:
-        (count,) = _I.unpack_from(buf, offset)
-        offset += 4
-        out: Dict[Any, Any] = {}
-        for _ in range(count):
-            key, offset = decode_value(buf, offset)
-            value, offset = decode_value(buf, offset)
-            out[key] = value
-        return out, offset
-    if tag == _T_PACKET:
-        return decode_packet(buf, offset)
-    raise ValueError(f"corrupt wire frame: unknown value tag {tag}")
-
-
-# ----------------------------------------------------------------------
-# Packets
-# ----------------------------------------------------------------------
-def encode_packet(buf: bytearray, packet: Packet) -> None:
-    """Append ``packet`` as ``class_id + tagged field values``."""
-    cls = type(packet)
-    type_id = _TYPE_ID.get(cls)
-    if type_id is None:
-        raise TypeError(
-            f"unregistered packet class {cls.__name__}; add it to "
-            "repro.parallel.wire.PACKET_TYPES"
-        )
-    buf.append(type_id)
-    for name in _FIELDS[cls]:
-        encode_value(buf, getattr(packet, name))
-
-
-def decode_packet(buf, offset: int) -> Tuple[Packet, int]:
-    """Decode one packet at ``offset``; returns (packet, new offset)."""
-    type_id = buf[offset]
-    offset += 1
-    if type_id >= len(PACKET_TYPES):
-        raise ValueError(f"corrupt wire frame: unknown packet type id {type_id}")
-    cls = PACKET_TYPES[type_id]
-    kwargs: Dict[str, Any] = {}
-    for name in _FIELDS[cls]:
-        kwargs[name], offset = decode_value(buf, offset)
-    return cls(**kwargs), offset
 
 
 # ----------------------------------------------------------------------

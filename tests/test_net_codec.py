@@ -1,0 +1,230 @@
+"""The shared codec and stream framing under adversarial reassembly.
+
+Live-wire correctness starts here: every packet kind (including nested
+RP-tunnel packets) must round-trip through the frame codec with the TCP
+stream split and merged at *arbitrary* chunk boundaries, and anything
+corrupt — flipped payload bytes, bad magic, implausible lengths,
+mid-frame truncation — must raise :class:`FrameError` loudly instead of
+desynchronizing and delivering garbage.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.packets import (
+    CdHandoffPacket,
+    ConfirmPacket,
+    FibAddPacket,
+    FibRemovePacket,
+    JoinPacket,
+    LeavePacket,
+    MulticastPacket,
+    SubscribePacket,
+    UnsubscribePacket,
+)
+from repro.names import Name
+from repro.ndn.packets import Data, Interest
+from repro.net import codec
+from repro.net.codec import (
+    FRAME_MAGIC,
+    MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    decode_datagram,
+    encode_frame,
+    pack_message,
+    unpack_message,
+)
+from repro.packets import Packet
+from repro.parallel import wire
+
+
+def sample_packets():
+    """One instance of every wire-registered packet class (plus variants)."""
+    tunnel_payload = MulticastPacket(
+        cd="/region/1",
+        payload_size=200,
+        publisher="p000042",
+        sequence=17,
+        object_id=3,
+        pub_seq=5,
+        created_at=1004.25,
+    )
+    return [
+        Packet(size=40, created_at=1.5, uid=700),
+        Interest(name="/rp/core0", nonce=12_345, lifetime=250.0, uid=701),
+        # The RP tunnel: a Multicast encapsulated in an Interest payload.
+        Interest(name="/rp/core1", nonce=2**40 + 7, payload=tunnel_payload),
+        Data(name="/obj/7", payload_size=120, content=("snapshot", 3, None)),
+        SubscribePacket(cds=("/region/1", "/world")),
+        UnsubscribePacket(cds=("/region/2",)),
+        tunnel_payload,
+        FibAddPacket(prefixes=("/region/0", "/world"), origin="core0"),
+        FibRemovePacket(prefixes=("/region/3",), origin="core3"),
+        CdHandoffPacket(prefixes=("/region/0",), old_rp="core0", new_rp="core1"),
+        JoinPacket(prefixes=("/region/0",), epoch=2, origin="core1"),
+        ConfirmPacket(prefixes=("/region/0",), epoch=2),
+        LeavePacket(prefixes=("/region/0",), epoch=2),
+    ]
+
+
+SAMPLES = sample_packets()
+
+_names = st.lists(
+    st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=6),
+    min_size=1,
+    max_size=4,
+).map(lambda segs: Name.parse("/" + "/".join(segs)))
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=16),
+    st.binary(max_size=16),
+    _names,
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+class TestSharedCodec:
+    """parallel.wire re-exports the codec — literally the same objects."""
+
+    def test_wire_reexports_the_codec(self):
+        assert wire.encode_value is codec.encode_value
+        assert wire.decode_value is codec.decode_value
+        assert wire.encode_packet is codec.encode_packet
+        assert wire.decode_packet is codec.decode_packet
+        assert wire.PACKET_TYPES is codec.PACKET_TYPES
+
+    def test_every_registered_class_is_sampled(self):
+        assert {type(p) for p in SAMPLES} == set(codec.PACKET_TYPES)
+
+    @given(_values)
+    def test_value_roundtrip(self, value):
+        assert unpack_message(pack_message(value)) == value
+
+    def test_unpack_rejects_trailing_bytes(self):
+        with pytest.raises(FrameError, match="trailing"):
+            unpack_message(pack_message(7) + b"\x00")
+
+
+class TestFrameReassembly:
+    @pytest.mark.parametrize("packet", SAMPLES, ids=lambda p: type(p).__name__)
+    def test_packet_roundtrips_through_a_frame(self, packet):
+        frame = encode_frame(pack_message({"op": "packet", "pkt": packet}))
+        (payload,) = FrameDecoder().feed(frame)
+        msg = unpack_message(payload)
+        assert msg["pkt"] == packet
+        assert msg["pkt"].uid == packet.uid
+
+    def test_tunnel_packet_nests_through_a_frame(self):
+        tunnel = next(
+            p for p in SAMPLES if isinstance(p, Interest) and p.payload is not None
+        )
+        msg = unpack_message(decode_datagram(encode_frame(pack_message(tunnel))))
+        assert isinstance(msg.payload, MulticastPacket)
+        assert msg.payload == tunnel.payload
+
+    @given(
+        idxs=st.lists(
+            st.integers(0, len(SAMPLES) - 1), min_size=1, max_size=5
+        ),
+        data=st.data(),
+    )
+    def test_arbitrary_tcp_chunk_boundaries(self, idxs, data):
+        stream = b"".join(
+            encode_frame(pack_message({"i": i, "pkt": SAMPLES[i]})) for i in idxs
+        )
+        cuts = sorted(
+            data.draw(
+                st.lists(st.integers(0, len(stream)), max_size=8), label="cuts"
+            )
+        )
+        decoder = FrameDecoder()
+        out = []
+        prev = 0
+        for cut in cuts + [len(stream)]:
+            out.extend(decoder.feed(stream[prev:cut]))
+            prev = cut
+        assert decoder.buffered == 0
+        decoder.check_eof()
+        assert len(out) == len(idxs)
+        for i, payload in zip(idxs, out):
+            msg = unpack_message(payload)
+            assert msg["i"] == i
+            assert msg["pkt"] == SAMPLES[i]
+
+    def test_byte_at_a_time_feed(self):
+        frames = [encode_frame(pack_message(p)) for p in SAMPLES]
+        decoder = FrameDecoder()
+        out = []
+        for frame in frames:
+            for b in frame:
+                out.extend(decoder.feed(bytes([b])))
+        assert [unpack_message(p) for p in out] == SAMPLES
+
+
+class TestCorruptionIsLoud:
+    @given(data=st.data())
+    def test_any_flipped_payload_byte_raises(self, data):
+        frame = bytearray(encode_frame(pack_message({"pkt": SAMPLES[6]})))
+        head = struct.calcsize("<4sII")
+        index = data.draw(
+            st.integers(head, len(frame) - 1), label="flipped byte index"
+        )
+        frame[index] ^= 0xFF
+        with pytest.raises(FrameError, match="CRC"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_bad_magic_raises(self):
+        frame = bytearray(encode_frame(b"x"))
+        frame[0] ^= 0xFF
+        with pytest.raises(FrameError, match="magic"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_oversize_length_field_raises(self):
+        header = struct.pack("<4sII", FRAME_MAGIC, MAX_FRAME + 1, 0)
+        with pytest.raises(FrameError, match="exceeds cap"):
+            FrameDecoder().feed(header)
+
+    def test_truncated_frame_never_yields_and_eof_is_loud(self):
+        frame = encode_frame(pack_message({"pkt": SAMPLES[0]}))
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.buffered == len(frame) - 1
+        with pytest.raises(FrameError, match="mid-frame"):
+            decoder.check_eof()
+        # The held-back bytes complete cleanly once the tail arrives —
+        # a partial frame is pending, not corrupt.
+        (payload,) = decoder.feed(frame[-1:])
+        assert unpack_message(payload)["pkt"] == SAMPLES[0]
+
+    def test_datagram_must_be_exactly_one_frame(self):
+        one = encode_frame(pack_message(1))
+        with pytest.raises(FrameError, match="exactly one frame"):
+            decode_datagram(one + one)
+        with pytest.raises(FrameError, match="exactly one frame"):
+            decode_datagram(one + one[: len(one) // 2])
+
+    def test_corrupt_stream_stays_poisoned_not_resynced(self):
+        decoder = FrameDecoder()
+        bad = bytearray(encode_frame(pack_message(1)))
+        bad[0] ^= 0xFF
+        with pytest.raises(FrameError):
+            decoder.feed(bytes(bad))
+        # Decoder does not silently skip to the next frame: the stream
+        # position is untrustworthy, so even a good frame re-raises.
+        with pytest.raises(FrameError):
+            decoder.feed(encode_frame(pack_message(2)))
