@@ -27,7 +27,34 @@ from repro.core.hierarchy import AIRSPACE, MapHierarchy
 from repro.names import Name
 from repro.sim.queues import ServiceQueue
 
-__all__ = ["SplitPolicy", "RpLoadBalancer", "default_refiner"]
+__all__ = ["SplitPolicy", "RpLoadBalancer", "default_refiner", "greedy_half"]
+
+
+def greedy_half(prefixes: Sequence[Name], loads: Counter) -> List[Name]:
+    """Greedy half-partition: heaviest-first into the lighter bin.
+
+    Returns the prefixes to *move*; the balancer and the federation
+    autoscaler share this policy so a threshold split and an autoscaled
+    split shed the same set given the same window.  Always moves at least
+    one and keeps at least one when ``len(prefixes) >= 2``.
+    """
+    keep: List[Name] = []
+    move: List[Name] = []
+    keep_load = 0
+    move_load = 0
+    for prefix in sorted(prefixes, key=lambda p: (-loads.get(p, 0), p)):
+        weight = loads.get(prefix, 0)
+        if move_load < keep_load or (move_load == keep_load and len(move) <= len(keep)):
+            move.append(prefix)
+            move_load += weight
+        else:
+            keep.append(prefix)
+            keep_load += weight
+    if not keep:
+        keep.append(move.pop())
+    if not move and keep:
+        move.append(keep.pop())
+    return move
 
 
 class SplitPolicy(Enum):
@@ -82,7 +109,9 @@ class RpLoadBalancer:
     cooldown:
         Minimum simulated ms between consecutive splits of this RP, so a
         burst does not trigger cascading splits before the first handoff
-        takes effect.
+        takes effect.  ``min_split_interval_ms`` is the canonical alias
+        (the name the federation autoscaler and its config use); passing
+        it overrides ``cooldown``.
     spawn_on_split:
         When True (default) the new RP automatically gets its own balancer
         with the same parameters, so coverage follows the CD set.
@@ -102,6 +131,7 @@ class RpLoadBalancer:
         rp_selector: Optional[
             Callable[["RpLoadBalancer", Sequence[Name]], Optional[str]]
         ] = None,
+        min_split_interval_ms: Optional[float] = None,
     ) -> None:
         if queue_threshold < 1:
             raise ValueError("queue_threshold must be >= 1")
@@ -110,7 +140,7 @@ class RpLoadBalancer:
         self.queue_threshold = queue_threshold
         self.policy = policy
         self.refiner = refiner
-        self.cooldown = cooldown
+        self.cooldown = cooldown if min_split_interval_ms is None else min_split_interval_ms
         self.rng = rng if rng is not None else random.Random(0)
         self.spawn_on_split = spawn_on_split
         self.on_split = on_split
@@ -121,6 +151,15 @@ class RpLoadBalancer:
         self.spawned: List["RpLoadBalancer"] = []
         self._last_split_at = -float("inf")
         router.queue.on_enqueue.append(self._check)
+
+    @property
+    def min_split_interval_ms(self) -> float:
+        """Canonical name for the split cooldown (see ``cooldown``)."""
+        return self.cooldown
+
+    @min_split_interval_ms.setter
+    def min_split_interval_ms(self, value: float) -> None:
+        self.cooldown = value
 
     # ------------------------------------------------------------------
     # Trigger
@@ -224,23 +263,7 @@ class RpLoadBalancer:
 
     def _greedy_half(self, prefixes: List[Name], loads: Counter) -> List[Name]:
         """Greedy partition: heaviest-first into the lighter bin."""
-        keep: List[Name] = []
-        move: List[Name] = []
-        keep_load = 0
-        move_load = 0
-        for prefix in sorted(prefixes, key=lambda p: (-loads.get(p, 0), p)):
-            weight = loads.get(prefix, 0)
-            if move_load < keep_load or (move_load == keep_load and len(move) <= len(keep)):
-                move.append(prefix)
-                move_load += weight
-            else:
-                keep.append(prefix)
-                keep_load += weight
-        if not keep:
-            keep.append(move.pop())
-        if not move and keep:
-            move.append(keep.pop())
-        return move
+        return greedy_half(prefixes, loads)
 
     def _choose_new_rp(self) -> Optional[str]:
         """Least-loaded candidate that is not already an RP."""

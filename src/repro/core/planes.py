@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.dedup import BoundedUidSet
 from repro.core.packets import (
@@ -404,6 +404,17 @@ class ControlPlane:
         self._st_touched: Dict[Tuple[Face, Name], float] = {}
         # handoff packet uid -> rollback record, until the implicit ack.
         self._pending_handoffs: Dict[int, _PendingHandoff] = {}
+        # Flood-scope seam (hierarchical federation): when set, FIB
+        # add/remove re-floods consult ``filter(packet, out_face)`` and
+        # skip faces it rejects.  A region's aggregation point uses this
+        # to absorb intra-region ownership floods so the rest of the
+        # network keeps exactly one aggregate route per region.
+        self.fib_flood_filter: Optional[Callable[[FibAddPacket, Face], bool]] = None
+        # Observers called for every accepted (non-duplicate) FIB-add,
+        # after routes are updated and before the re-flood.  Aggregation
+        # points use this to retarget their relay map when an intra-region
+        # handoff moves a prefix to a new member.
+        self.on_fib_add: List[Callable[[FibAddPacket, Optional[Face]], None]] = []
 
     # ------------------------------------------------------------------
     # Recovery plumbing
@@ -773,8 +784,13 @@ class ControlPlane:
             self.rp_route[packet.origin] = face
         if self._pending_handoffs:
             self._complete_pending_handoffs(packet)
+        for hook in self.on_fib_add:
+            hook(packet, face)
+        flood_filter = self.fib_flood_filter
         for out in router.faces.values():
             if out is not face and out.peer.is_copss_router:
+                if flood_filter is not None and not flood_filter(packet, out):
+                    continue
                 router.send(out, packet)
         if packet.origin != router.name:
             self._maybe_start_migration(packet)
@@ -795,8 +811,11 @@ class ControlPlane:
                 self.cd_routes.remove_prefix(prefix)
         if packet.origin == router.name:
             self.rp.prefixes.difference_update(packet.prefixes)
+        flood_filter = self.fib_flood_filter
         for out in router.faces.values():
             if out is not face and out.peer.is_copss_router:
+                if flood_filter is not None and not flood_filter(packet, out):
+                    continue
                 router.send(out, packet)
 
     def _maybe_start_migration(self, packet: FibAddPacket) -> None:

@@ -19,7 +19,7 @@ lists — these run inside the per-packet service-cost estimate.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Set
 
 from repro.names import Name
@@ -73,6 +73,15 @@ class RpRole(Role):
         self.recent_cds.append(serving)  # deque maxlen evicts the oldest
         for hook in self.on_decap:
             hook(node, serving)
+
+    def window_loads(self) -> Counter:
+        """Per-CD load meter: decap counts over the sliding window.
+
+        The load balancer and the federation autoscaler both key their
+        shed decisions on this counter, so a threshold split and an
+        autoscaled split agree on which prefixes are hot.
+        """
+        return Counter(self.recent_cds)
 
     def telemetry(self) -> dict:
         """Served-prefix count and decap-window fill, as sampled gauges."""

@@ -93,6 +93,46 @@ class RpTable:
             self._by_prefix[kid] = rp
         self.version += 1
 
+    def coalesce(self, children: Iterable["Name | str"], parent: "Name | str") -> None:
+        """Replace child prefixes by their common ``parent`` (inverse of refine).
+
+        All named children must be served, by the *same* RP (a merge first
+        re-homes them with :meth:`move`), and lie strictly under ``parent``;
+        the children must be the complete set of served prefixes under
+        ``parent`` or the coalesced table would claim CD space someone else
+        still serves.  Federation scale-in uses this to fold a drained
+        member's shards back into one region-level entry.
+        """
+        parent = Name.coerce(parent)
+        kids = [Name.coerce(c) for c in children]
+        if not kids:
+            raise ValueError("coalesce needs at least one child prefix")
+        owners = set()
+        for kid in kids:
+            if not parent.is_strict_prefix_of(kid):
+                raise ValueError(f"{kid} does not lie strictly under {parent}")
+            if kid not in self._by_prefix:
+                raise KeyError(f"{kid} is not a served prefix")
+            owners.add(self._by_prefix[kid])
+        if len(owners) != 1:
+            raise ValueError(
+                f"children of {parent} are served by {sorted(owners)};"
+                " move them to one RP before coalescing"
+            )
+        remainder = [
+            p for p in self._by_prefix
+            if parent.is_strict_prefix_of(p) and p not in set(kids)
+        ]
+        if remainder:
+            raise ValueError(
+                f"served prefixes {sorted(remainder)} under {parent}"
+                " are not part of the coalesce"
+            )
+        for kid in kids:
+            del self._by_prefix[kid]
+        self._by_prefix[parent] = owners.pop()
+        self.version += 1
+
     def move(self, prefixes: Iterable["Name | str"], new_rp: str) -> None:
         """Re-home already-served prefixes to ``new_rp`` (handoff stage)."""
         names = [Name.coerce(p) for p in prefixes]

@@ -62,9 +62,35 @@ def _cmd_table1(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> None:
-    from repro.experiments.fig6_scalability import run_fig6
+    from repro.experiments.fig6_scalability import run_fig6, run_fig6_federated
 
-    sweep = tuple(int(x) for x in args.players.split(","))
+    players = args.players or (
+        "2000,10000,100000" if args.federated else "62,414,1200,2400"
+    )
+    if args.federated:
+        sweep = tuple(int(x) for x in players.split(","))
+        points = run_fig6_federated(
+            player_counts=sweep, updates_per_point=args.updates
+        )
+        rows = [
+            (
+                p["players"],
+                p["deliveries"],
+                round(p["latency"]["mean_ms"], 2),
+                round(p["latency"]["p95_ms"], 2),
+                p["federation"]["actions"],
+            )
+            for p in points
+        ]
+        print(
+            render_table(
+                "Fig. 6 federated extension (latency ms, autoscaler live)",
+                ("players", "deliveries", "mean", "p95", "actions"),
+                rows,
+            )
+        )
+        return
+    sweep = tuple(int(x) for x in players.split(","))
     result = run_fig6(player_counts=sweep, updates_per_point=args.updates)
     rows = [(n, round(g, 2), round(s, 2)) for n, g, s in result.latency_series()]
     print(render_table("Fig. 6a response latency (ms)", ("players", "G-COPSS", "IP server"), rows))
@@ -179,6 +205,44 @@ def _cmd_scale(args: argparse.Namespace) -> None:
     if not report["equivalent"]:
         print(f"DIGEST MISMATCH in arms: {report['mismatched_arms']}")
         raise SystemExit(1)
+
+
+def _cmd_federation(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.experiments.federation import (
+        bench_federation,
+        check_federation_regression,
+        render_federation,
+    )
+
+    out = Path(args.out) if args.out else Path("BENCH_federation.json")
+    report = bench_federation(
+        quick=args.quick,
+        slo_p95_ms=args.slo,
+        saturation=not args.no_saturation,
+        out_path=out,
+    )
+    print(
+        render_table(
+            "Federation: digest differentials + autoscaler SLO "
+            f"({'quick' if args.quick else 'full'})",
+            ("metric", "value"),
+            render_federation(report),
+        )
+    )
+    print(f"-> {out}")
+    if not report["ok"]:
+        print("FEDERATION GATE FAILED (see report)")
+        raise SystemExit(1)
+    if args.check:
+        problems = check_federation_regression(report, Path(args.check))
+        if problems:
+            print(f"DIGEST REGRESSION vs {args.check}:")
+            for line in problems:
+                print("  ", line)
+            raise SystemExit(1)
+        print(f"digests match {args.check}")
 
 
 def _cmd_chaos(args: argparse.Namespace) -> None:
@@ -413,6 +477,7 @@ _DISPATCH = {
     "table3": _cmd_table3,
     "perfbench": _cmd_perfbench,
     "scale": _cmd_scale,
+    "federation": _cmd_federation,
     "chaos": _cmd_chaos,
     "scenarios": _cmd_scenarios,
     "live": _cmd_live,
@@ -439,8 +504,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--updates", type=int, default=6_000)
 
     p = sub.add_parser("fig6", help="scalability sweep (Fig. 6a/6b)")
-    p.add_argument("--players", type=str, default="62,414,1200,2400")
+    p.add_argument("--players", type=str, default="",
+                   help="comma-separated sweep (default 62,414,1200,2400; "
+                        "2000,10000,100000 with --federated)")
     p.add_argument("--updates", type=int, default=2_500)
+    p.add_argument("--federated", action="store_true",
+                   help="run the federated RP extension instead: the "
+                        "region-ring world under FederationSpec with the "
+                        "autoscaler live, out to 10⁵ players")
 
     p = sub.add_parser("table2", help="full-trace IP/G-COPSS/hybrid (Table II)")
     p.add_argument("--sample", type=float, default=0.01)
@@ -479,6 +550,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="comma-separated player counts for the speedup-vs-players "
                         "curve (default 100,1000,10000; skipped under --quick; "
                         "pass '' to skip explicitly)")
+
+    p = sub.add_parser(
+        "federation",
+        help="federated RP layer: executor digest differentials + "
+             "autoscaler saturation SLO (BENCH_federation.json)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized populations (the committed benchmark "
+                        "is generated in this mode)")
+    p.add_argument("--slo", type=float, default=30.0,
+                   help="p95 delivery-latency SLO (ms) the federated "
+                        "arms must hold")
+    p.add_argument("--no-saturation", action="store_true",
+                   help="skip the saturation arms (differentials only)")
+    p.add_argument("--out", type=str, default="",
+                   help="output path (default: BENCH_federation.json)")
+    p.add_argument("--check", type=str, default="",
+                   help="compare digests against this committed "
+                        "benchmark file; exit 1 on any mismatch")
 
     p = sub.add_parser(
         "chaos", help="fault-injection delivery-invariant check (lossless handover)"

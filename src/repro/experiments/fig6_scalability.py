@@ -29,9 +29,19 @@ from repro.experiments.common import (
 from repro.game.map import GameMap
 from repro.trace.generator import CounterStrikeTraceGenerator, peak_trace_spec
 
-__all__ = ["Fig6Result", "run_fig6", "DEFAULT_PLAYER_SWEEP"]
+__all__ = [
+    "Fig6Result",
+    "run_fig6",
+    "run_fig6_federated",
+    "DEFAULT_PLAYER_SWEEP",
+    "FEDERATED_PLAYER_SWEEP",
+]
 
 DEFAULT_PLAYER_SWEEP: Tuple[int, ...] = (62, 124, 414, 828, 1600, 2400)
+
+#: The federated extension sweeps two more decades — the flat RP layout
+#: saturates long before the last point (see BENCH_federation.json).
+FEDERATED_PLAYER_SWEEP: Tuple[int, ...] = (2_000, 10_000, 100_000)
 
 
 @dataclass
@@ -115,3 +125,48 @@ def run_fig6(
         )
         result.ip_server[count].extras["load_normalizer"] = normalizer
     return result
+
+
+def run_fig6_federated(
+    player_counts: Sequence[int] = FEDERATED_PLAYER_SWEEP,
+    updates_per_point: int = 800,
+    zones_per_region: int = 32,
+    seed: int = 11,
+) -> List[dict]:
+    """Fig. 6 beyond the flat layout's ceiling: the 10⁵-player sweep.
+
+    Each point runs the region-ring scale world under a
+    :class:`~repro.parallel.scale.FederationSpec` — region CDs shattered
+    into leaf zones sharded across the region's access routers, with the
+    telemetry-driven autoscaler live.  The per-publish load at any single
+    RP stays bounded by the zone fan-out, so latency holds flat where the
+    flat layout (one RP per region, fan-out = population/regions) is past
+    its service capacity — the point the saturation section of
+    ``BENCH_federation.json`` pins quantitatively.
+    """
+    from repro.parallel.scale import FederationSpec, run_scale
+
+    points: List[dict] = []
+    for count in player_counts:
+        spec = FederationSpec(
+            players=count,
+            regions=4,
+            access_per_region=4,
+            updates=updates_per_point,
+            seed=seed,
+            world_fraction=0.0,
+            publish_interval_ms=0.5,
+            zones_per_region=zones_per_region,
+            autoscale=True,
+        )
+        result = run_scale(spec)
+        points.append(
+            {
+                "players": count,
+                "deliveries": result["deliveries"],
+                "latency": result["latency"],
+                "federation": result["federation"],
+                "digest": result["digest"],
+            }
+        )
+    return points

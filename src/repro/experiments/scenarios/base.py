@@ -27,7 +27,7 @@ from typing import Callable, Iterator, List, Tuple
 __all__ = ["EVENT_KINDS", "ScenarioEvent", "ScenarioScript", "Scenario"]
 
 #: Event kinds a script may contain.
-EVENT_KINDS = ("publish", "move", "offline", "reconnect", "split")
+EVENT_KINDS = ("publish", "move", "offline", "reconnect", "split", "merge", "migrate")
 
 
 @dataclass(frozen=True)
@@ -42,7 +42,11 @@ class ScenarioEvent:
     * ``reconnect`` — ``player`` rejoins at ``area`` and pulls a
       snapshot through the broker;
     * ``split`` — the RP router named by ``player`` sheds half its CD
-      set through the load balancer.
+      set through the load balancer;
+    * ``merge`` — the RP router named by ``player`` hands its *entire*
+      CD set to the RP router named by ``area`` (scale-down);
+    * ``migrate`` — the RP router named by ``player`` moves its
+      lexicographically-first CD prefix to the router named by ``area``.
     """
 
     at_ms: float

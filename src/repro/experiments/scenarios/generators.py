@@ -1,6 +1,6 @@
-"""The scenario fleet: four seeded workload generators beyond fig-4.
+"""The scenario fleet: five seeded workload generators beyond fig-4.
 
-All four run on the 62-player Fig. 3b testbed (the same topology every
+All five run on the 62-player Fig. 3b testbed (the same topology every
 :class:`~repro.sim.faults.FaultPlan` names, so any scenario composes
 with any plan) but stress different axes of the protocol:
 
@@ -16,7 +16,11 @@ with any plan) but stress different axes of the protocol:
   into the peak;
 * :func:`mobility` — group movement with hotspot attraction: squads
   follow their leader between a few attractor zones (D'Angelo et al.'s
-  adaptive-dissemination motivation), far from random waypoint.
+  adaptive-dissemination motivation), far from random waypoint;
+* :func:`autoscale_storm` — a forced scale-out/scale-in cycle: the
+  flash-crowd split cascade followed by a prefix migration and a full
+  merge-back, exercising every handoff kind the federation autoscaler
+  can emit, under every fault plan.
 
 Generators are pure: all randomness flows from ``random.Random`` seeded
 with the *string* ``"scenario:<name>:<seed>"`` (stable across
@@ -43,6 +47,7 @@ __all__ = [
     "churn",
     "day_night",
     "mobility",
+    "autoscale_storm",
     "BUILTIN_SCENARIOS",
 ]
 
@@ -331,6 +336,74 @@ def mobility(seed: int, scale: float = 1.0) -> ScenarioScript:
     return _finish("mobility", seed, scale, timed, duration)
 
 
+# ----------------------------------------------------------------------
+# (e) Autoscale storm: forced split + migrate + merge burst
+# ----------------------------------------------------------------------
+
+def autoscale_storm(seed: int, scale: float = 1.0) -> ScenarioScript:
+    """A full scale-out/scale-in cycle under load: split, migrate, merge.
+
+    The storm replays the autoscaler's three action kinds as scripted
+    events so every leg runs under every fault plan: the flash-crowd
+    split cascade (R1 -> R4 at 600, R4 -> R5 at 850, both before the
+    rp-crash plan takes R4 down), then — after the crash plan's restart
+    — R4 *migrates* its first prefix to the fresh router R6, and
+    finally R5 *merges* its whole set back into R4.  Every handoff leg
+    is relay-safe by construction: R6 holds no relay entries, and R4's
+    relay entries for R5's prefixes point *at* R5, so the PR-8 adoption
+    guard passes (``onward == old_rp``).  Two move waves heat the target
+    zone so the shed prefixes carry real traffic throughout.
+    """
+    rng = _rng("autoscale-storm", seed)
+    placement = initial_placement()
+    duration = 4500.0
+    target = rng.choice(_HIERARCHY.areas(_HIERARCHY.max_depth))
+
+    timed: List[Tuple[float, ScenarioEvent]] = []
+    area_moves: Dict[str, List[Tuple[float, Name]]] = {}
+    outside = sorted(p for p, a in placement.items() if a != target)
+    for wave_at in (500.0, 1400.0):
+        movers = rng.sample(outside, max(1, len(outside) // 4))
+        for player in movers:
+            t = wave_at + rng.uniform(0.0, 150.0)
+            area_moves.setdefault(player, []).append((t, target))
+            timed.append(
+                (
+                    t,
+                    ScenarioEvent(
+                        at_ms=t, kind="move", player=player, area=str(target)
+                    ),
+                )
+            )
+            outside.remove(player)
+
+    # Scale-out: the flash-crowd cascade, same instants so the storm
+    # races the same fault windows the committed cells already pin.
+    timed.append((600.0, ScenarioEvent(at_ms=600.0, kind="split", player="R1")))
+    timed.append((850.0, ScenarioEvent(at_ms=850.0, kind="split", player="R4")))
+    # Rebalance: R4 (restarted by then under rp-crash) sheds its first
+    # prefix to R6 — a router with no relay history, so trivially safe.
+    timed.append(
+        (2400.0, ScenarioEvent(at_ms=2400.0, kind="migrate", player="R4", area="R6"))
+    )
+    # Scale-in: R5 folds back into R4; R4's relay entries for those
+    # prefixes name R5, so the adoption guard sees its own handoff.
+    timed.append(
+        (3200.0, ScenarioEvent(at_ms=3200.0, kind="merge", player="R5", area="R4"))
+    )
+
+    times = [rng.uniform(0.0, duration) for _ in range(_scaled(260, scale))]
+    timed.extend(_publish_events(rng, times, area_moves, placement))
+    return _finish(
+        "autoscale-storm",
+        seed,
+        scale,
+        timed,
+        duration,
+        extra_recovery_margin_ms=500.0,
+    )
+
+
 BUILTIN_SCENARIOS: Tuple[Scenario, ...] = (
     Scenario(
         name="flash-crowd",
@@ -351,5 +424,10 @@ BUILTIN_SCENARIOS: Tuple[Scenario, ...] = (
         name="mobility",
         description="squad movement with hotspot attraction",
         build=mobility,
+    ),
+    Scenario(
+        name="autoscale-storm",
+        description="forced split + migrate + merge burst under load",
+        build=autoscale_storm,
     ),
 )

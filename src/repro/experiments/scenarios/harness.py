@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.balancer import RpLoadBalancer, SplitPolicy, default_refiner
 from repro.core.engine import GCopssHost, GCopssNetworkBuilder, GCopssRouter
+from repro.core.federation import relay_safe
 from repro.core.planes import RecoveryConfig
 from repro.core.rp import RpTable
 from repro.core.snapshot import QrSnapshotFetcher, SnapshotBroker, snapshot_name
@@ -398,6 +399,35 @@ def run_scenario(
             return
         split_results.append((router_name, result))
 
+    # Merge / migrate mirror the split's retry loop but hand off to the
+    # router the script names (the ``area`` field) instead of consulting
+    # a balancer — the scripted stand-in for the federation autoscaler's
+    # scale-in and rebalance actions.  Both are gated by the same
+    # relay-safety rule the autoscaler applies: a target holding a stale
+    # foreign relay entry for a prefix would refuse the adoption (the
+    # PR-8 replay guard) and black-hole it.
+    def do_handoff(
+        kind: str, router_name: str, target_name: str, attempt: int = 0
+    ) -> None:
+        source = network.nodes[router_name]
+        target = network.nodes[target_name]
+        prefixes = sorted(source.rp_prefixes)  # type: ignore[attr-defined]
+        if kind == "migrate":
+            prefixes = prefixes[:1]
+        ready = bool(prefixes) and relay_safe(target, prefixes, router_name)
+        retry_at = executor.now + refresh
+        if not ready:
+            if attempt + 1 < _SPLIT_ATTEMPTS and retry_at < horizon:
+                executor.schedule_external(
+                    router_name, retry_at, do_handoff, kind, router_name,
+                    target_name, attempt + 1,
+                )
+                return
+            split_results.append((router_name, None))
+            return
+        source.initiate_handoff(prefixes, target_name)  # type: ignore[attr-defined]
+        split_results.append((router_name, target_name))
+
     for sequence, event in script.publishes():
         executor.schedule_external(
             event.player,
@@ -422,6 +452,10 @@ def run_scenario(
             )
         elif event.kind == "split":
             executor.schedule_external(event.player, t, do_split, event.player)
+        elif event.kind in ("merge", "migrate"):
+            executor.schedule_external(
+                event.player, t, do_handoff, event.kind, event.player, event.area
+            )
 
     horizon = offset + script.duration_ms + timeline.drain_ms
     if telemetry is not None:
@@ -460,6 +494,16 @@ def run_scenario(
         network, executor.now, grace_ms=recovery.st_ttl_ms + 2 * recovery.sweep_interval_ms
     )
 
+    # Ownership audit: after every scripted split / merge / migrate (and
+    # whatever the fault plan did to them), exactly one RP serves each
+    # prefix and every published CD still resolves to an owner — directly
+    # or through a bounded relay chain.
+    inv.check_ownership(
+        network,
+        executor.now,
+        expected_cover=sorted({e.cd for e in script.events if e.kind == "publish"}),
+    )
+
     host_population = len(hosts) + (1 if broker is not None else 0)
     all_hosts = list(hosts.values()) + ([broker] if broker is not None else [])
     refreshes = sum(r.stats.subscription_refreshes for r in routers) + sum(
@@ -490,9 +534,12 @@ def run_scenario(
     if monitor:
         inv.uninstall()
 
-    # Every scripted split must have resolved (not still mid-retry at the
-    # horizon) and succeeded.
-    splits_ok = len(split_results) == len(split_events) and all(
+    # Every scripted handoff (split, merge or migrate) must have resolved
+    # (not still mid-retry at the horizon) and succeeded.
+    handoff_events = [
+        e for e in script.events if e.kind in ("split", "merge", "migrate")
+    ]
+    splits_ok = len(split_results) == len(handoff_events) and all(
         new_rp is not None for _router, new_rp in split_results
     )
 

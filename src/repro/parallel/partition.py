@@ -24,7 +24,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.network import Link, Network
 
-__all__ = ["ShardPlan", "partition_by_anchors", "partition_by_rp"]
+__all__ = [
+    "ShardPlan",
+    "partition_by_anchors",
+    "partition_by_rp",
+    "partition_by_regions",
+    "assert_region_atomic",
+]
 
 
 @dataclass(frozen=True)
@@ -232,3 +238,69 @@ def partition_by_rp(
     if max_shards is not None:
         rp_sites = rp_sites[:max_shards]
     return partition_by_anchors(network, rp_sites)
+
+
+def partition_by_regions(
+    network: "Network", region_map, num_shards: Optional[int] = None
+) -> ShardPlan:
+    """Region-aware shard plan: every RP region is shard-atomic.
+
+    The federation autoscaler reads member queue depths and load meters
+    from inside its region each tick; those reads are only deterministic
+    under the sharded executors when the whole region — aggregation
+    point, owner members and the hosts hanging off them — lives in one
+    shard.  This plan seeds shards from the aggregation points (region i
+    -> shard ``i % num_shards``), lets every non-member node fold to its
+    delay-nearest aggregator (the usual anchor rule), and then *forces*
+    region members onto their region's shard.
+
+    ``region_map`` is a :class:`repro.core.federation.RegionMap` (typed
+    loosely to keep this module import-light).  The result is validated
+    with :func:`assert_region_atomic`.
+    """
+    regions = region_map.regions()
+    if not regions:
+        raise ValueError("region map is empty")
+    if num_shards is None:
+        num_shards = len(regions)
+    if not 1 <= num_shards <= len(regions):
+        raise ValueError(
+            f"num_shards must be 1..{len(regions)} (one region cannot span"
+            f" shards), got {num_shards}"
+        )
+    anchors = [region.aggregator for region in regions[:num_shards]]
+    plan = partition_by_anchors(network, anchors)
+    assignment = dict(plan.assignment)
+    for index, region in enumerate(regions):
+        shard = index % num_shards
+        for member in region.members:
+            if member in assignment:
+                assignment[member] = shard
+    # Hosts (and any other leaf) follow their single router neighbour so
+    # zero-delay access links never straddle a boundary.
+    graph = network.graph
+    for name, node in network.nodes.items():
+        if getattr(node, "is_copss_router", False):
+            continue
+        neighbors = list(graph.neighbors(name))
+        if len(neighbors) == 1:
+            assignment[name] = assignment[neighbors[0]]
+    plan = ShardPlan(
+        assignment=assignment, num_shards=num_shards, anchors=tuple(anchors)
+    )
+    assert_region_atomic(plan, region_map)
+    return plan
+
+
+def assert_region_atomic(plan: ShardPlan, region_map) -> None:
+    """Raise unless every region's members share one shard."""
+    for region in region_map.regions():
+        shards = {
+            plan.assignment[m] for m in region.members if m in plan.assignment
+        }
+        if len(shards) > 1:
+            raise ValueError(
+                f"region {region.name} spans shards {sorted(shards)};"
+                " the autoscaler's region-local reads require shard-atomic"
+                " regions"
+            )

@@ -144,9 +144,16 @@ def _worker_main(conn, spec: "ScaleSpec", shard: int, num_shards: int) -> None:
     for name in sorted(world.hosts):
         host = world.hosts[name]
         host.on_update.append(on_update)
-        host.subscribe(
-            [spec.region_cd(world.host_region[name]), spec.world_cd]
-        )
+        host.subscribe(spec.subscriptions_for(world.host_region[name], name))
+    # This worker's regions came with unstarted autoscaler roles (the
+    # slice build attaches them); arm their tick loops node-anchored at
+    # t=0, mirroring execute_scale_local's schedule_external path.
+    federation = getattr(network, "federation_state", None)
+    if federation is not None:
+        for role in federation.autoscalers:
+            sim.schedule_at_node(
+                0.0, role.node.rank, role.start, spec.horizon_ms
+            )
     for i, (time, player, cd) in enumerate(scale_events(spec)):
         if assignment[player] == shard:
             sim.schedule_at_node(
@@ -187,6 +194,8 @@ def _worker_main(conn, spec: "ScaleSpec", shard: int, num_shards: int) -> None:
                     )
                 )
             elif op == wire.OP_FINISH:
+                from repro.parallel.scale import federation_summary
+
                 conn.send_bytes(
                     wire.encode_result(
                         {
@@ -194,6 +203,11 @@ def _worker_main(conn, spec: "ScaleSpec", shard: int, num_shards: int) -> None:
                             "events_processed": sim.events_processed,
                             "network_bytes": network.total_bytes,
                             "network_packets": network.total_packets,
+                            "federation": (
+                                None
+                                if federation is None
+                                else federation_summary(federation)
+                            ),
                         }
                     )
                 )
@@ -312,6 +326,7 @@ def run_scale_proc(spec: "ScaleSpec", workers: int) -> dict:
         events_processed = 0
         network_bytes = 0
         network_packets = 0
+        fed_totals: Optional[Dict[str, int]] = None
         for conn in conns:
             conn.send_bytes(wire.encode_finish())
             result = wire.decode_result(conn.recv_bytes())
@@ -319,9 +334,18 @@ def run_scale_proc(spec: "ScaleSpec", workers: int) -> dict:
             events_processed += result["events_processed"]
             network_bytes += result["network_bytes"]
             network_packets += result["network_packets"]
-        return {
+            fed = result.get("federation")
+            if fed is not None:
+                if fed_totals is None:
+                    fed_totals = dict.fromkeys(fed, 0)
+                for key, value in fed.items():
+                    fed_totals[key] += value
+        from repro.parallel.scale import latency_stats
+
+        summary = {
             "deliveries": len(log),
             "digest": log.digest(),
+            "latency": latency_stats(log),
             "events_processed": events_processed,
             "network_bytes": network_bytes,
             "network_packets": network_packets,
@@ -333,6 +357,9 @@ def run_scale_proc(spec: "ScaleSpec", workers: int) -> dict:
                 "transit_messages": transit,
             },
         }
+        if fed_totals is not None:
+            summary["federation"] = fed_totals
+        return summary
     finally:
         for conn in conns:
             try:

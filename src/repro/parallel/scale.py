@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ScaleSpec",
+    "FederationSpec",
     "ScaleWorld",
     "build_scale_world",
     "scale_events",
@@ -45,6 +46,8 @@ __all__ = [
     "run_scale",
     "bench_scale",
     "scale_curve",
+    "federation_summary",
+    "latency_stats",
 ]
 
 
@@ -91,6 +94,171 @@ class ScaleSpec:
     @property
     def world_cd(self) -> Name:
         return ROOT / "world"
+
+    # ------------------------------------------------------------------
+    # Spec seams (subclass hooks; the base spec is the flat world)
+    # ------------------------------------------------------------------
+    def subscriptions_for(self, region: int, host_name: str) -> List[Name]:
+        """The CDs one host subscribes to; every execution mode calls this."""
+        return [self.region_cd(region), self.world_cd]
+
+    def map_event_cd(self, index: int, player: str, cd: Name) -> Name:
+        """Post-map one workload event's CD (pure; rng stream untouched)."""
+        return cd
+
+    def post_install(self, network) -> None:
+        """Hook run after the RP layout install, on full worlds *and* on
+        per-shard slices — a federated subclass lays its region state on
+        top here, so every process installs identically."""
+        return None
+
+
+@dataclass(frozen=True)
+class FederationSpec(ScaleSpec):
+    """Federated scale run: the region CDs shatter into leaf zones.
+
+    Each region family ``/region/{r}`` splits into ``zones_per_region``
+    leaf zones (``/region/{r}/z{z}``) sharded across the region's owner
+    members (the access routers), with ``core{r}`` demoted to the
+    region's aggregation point.  Hosts subscribe to their own zone plus
+    the world CD; region publishes go to the publisher's zone, and
+    ``remote_fraction`` of them are redirected to a foreign region's
+    matching zone (cross-region traffic through the aggregate entry).
+
+    The degenerate pin — ``FederationSpec(federated=False,
+    zones_per_region=0, autoscale=False)`` — must reproduce the plain
+    :class:`ScaleSpec` digest bit-for-bit (every hook falls through to
+    the base behaviour); the differential tests hold that line.
+    """
+
+    federated: bool = True
+    zones_per_region: int = 8
+    #: Pile every zone onto the first owner (the cold-start shape the
+    #: autoscaler is asked to repair) instead of round-robin spreading.
+    skewed_placement: bool = False
+    #: Fraction of region publishes redirected to a foreign region.
+    remote_fraction: float = 0.0
+    autoscale: bool = True
+    autoscale_sample_ms: float = 200.0
+    autoscale_split_backlog: int = 12
+    autoscale_merge_backlog: int = 0
+    autoscale_min_interval_ms: float = 800.0
+    autoscale_dominant_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.federated and self.zones_per_region < 1:
+            raise ValueError("federated runs need zones_per_region >= 1")
+        if not 0.0 <= self.remote_fraction <= 1.0:
+            raise ValueError(
+                f"remote_fraction must be in [0,1], got {self.remote_fraction}"
+            )
+
+    def zone_cd(self, region: int, zone: int) -> Name:
+        return self.region_cd(region) / f"z{zone}"
+
+    def zone_of(self, player: str) -> int:
+        return int(player[1:]) % self.zones_per_region
+
+    def subscriptions_for(self, region: int, host_name: str) -> List[Name]:
+        if not self.federated:
+            return super().subscriptions_for(region, host_name)
+        return [self.zone_cd(region, self.zone_of(host_name)), self.world_cd]
+
+    def map_event_cd(self, index: int, player: str, cd: Name) -> Name:
+        """Retarget a region publish to its zone (maybe a foreign one)."""
+        if not self.federated or cd == self.world_cd:
+            return cd
+        # Recompute the publisher's region the same way scale_events drew
+        # it, then optionally redirect to a foreign region: a pure integer
+        # hash, so the frozen rng stream stays untouched.
+        total_access = self.regions * self.access_per_region
+        region = (int(player[1:]) % total_access) // self.access_per_region
+        if self.regions > 1 and self._remote_draw(index):
+            region = (region + 1 + index % (self.regions - 1)) % self.regions
+        return self.zone_cd(region, self.zone_of(player))
+
+    def _remote_draw(self, index: int) -> bool:
+        if self.remote_fraction <= 0.0:
+            return False
+        h = (index * 2654435761 + self.seed * 97) % (2**32)
+        return h / 2**32 < self.remote_fraction
+
+    def build_region_map(self):
+        """One region per topology region: core aggregates, accs own."""
+        from repro.core.federation import MAX_REGION_SIZE, RegionMap, RpRegion
+
+        owners_per = min(self.access_per_region, MAX_REGION_SIZE - 1)
+        return RegionMap(
+            RpRegion(
+                name=f"R{r}",
+                family=self.region_cd(r),
+                aggregator=f"core{r}",
+                owners=tuple(f"acc{r}_{a}" for a in range(owners_per)),
+            )
+            for r in range(self.regions)
+        )
+
+    def build_placement(self, region_map) -> Dict[Name, str]:
+        """Initial zone->owner placement, spread or deliberately skewed."""
+        from repro.core.federation import spread_placement
+
+        placement: Dict[Name, str] = {}
+        for region in region_map.regions():
+            r = int(region.name[1:])
+            zones = [self.zone_cd(r, z) for z in range(self.zones_per_region)]
+            placement.update(
+                spread_placement(region, zones, skewed=self.skewed_placement)
+            )
+        return placement
+
+    def post_install(self, network) -> None:
+        """Layer the federation over the flat install (world or slice).
+
+        Regions whose aggregation point is absent from ``network`` are
+        skipped inside :func:`~repro.core.federation.install_federation`,
+        so a worker's slice installs exactly its own regions.  Autoscaler
+        roles are created and attached here but **not** started — the
+        executors rebind node clocks after the build, so arming happens
+        at the call sites through the external-event path.
+        """
+        if not self.federated:
+            return
+        from repro.core.engine import GCopssRouter
+        from repro.core.federation import (
+            AutoscalerConfig,
+            AutoscalerRole,
+            install_federation,
+        )
+
+        region_map = self.build_region_map()
+        placement = self.build_placement(region_map)
+
+        def hop(src: str, dst: str) -> str:
+            # Intra-region next hop in the region-ring topology: every
+            # access router links directly to its core.  Closed-form, so
+            # full worlds and slices wire identical member routes.
+            if src.startswith("core"):
+                return dst
+            core = f"core{src[3:src.index('_')]}"
+            return dst if dst == core else core
+
+        state = install_federation(network, region_map, placement, next_hop=hop)
+        if self.autoscale:
+            config = AutoscalerConfig(
+                sample_interval_ms=self.autoscale_sample_ms,
+                split_backlog=self.autoscale_split_backlog,
+                merge_backlog=self.autoscale_merge_backlog,
+                min_split_interval_ms=self.autoscale_min_interval_ms,
+                dominant_fraction=self.autoscale_dominant_fraction,
+            )
+            for region in region_map.regions():
+                node = network.nodes.get(region.aggregator)
+                if isinstance(node, GCopssRouter):
+                    role = AutoscalerRole(region, config)
+                    role.attach(node)
+                    state.autoscalers.append(role)
+        network.federation_state = state
 
 
 @dataclass
@@ -157,6 +325,7 @@ def build_scale_world(spec: ScaleSpec):
     from repro.parallel.slicing import scale_routes
 
     GCopssNetworkBuilder(network, rp_table, next_hops=scale_routes(spec)).install()
+    spec.post_install(network)
     return ScaleWorld(
         network=network, hosts=hosts, host_region=host_region, cores=cores
     )
@@ -185,7 +354,9 @@ def scale_events(spec: ScaleSpec) -> List[Tuple[float, str, str]]:
             + i * spec.publish_interval_ms
             + rng.random() * spec.publish_interval_ms
         )
-        events.append((time, player, str(cd)))
+        # The rng stream above is frozen (shared by every spec variant);
+        # subclasses may only *re-map* the drawn CD, never re-draw.
+        events.append((time, player, str(spec.map_event_cd(i, player, cd))))
     return events
 
 
@@ -214,20 +385,62 @@ def execute_scale_local(spec: ScaleSpec, make_executor) -> dict:
     for name in sorted(world.hosts):
         host = world.hosts[name]
         host.on_update.append(on_update)
-        host.subscribe([spec.region_cd(world.host_region[name]), spec.world_cd])
+        host.subscribe(spec.subscriptions_for(world.host_region[name], name))
+
+    # Autoscaler ticks must enter the *executor's* clocks: the sharded
+    # executors rebind every node.sim at construction, so roles are armed
+    # here (via the node-anchored external-event path), never at build.
+    federation = getattr(world.network, "federation_state", None)
+    if federation is not None:
+        for role in federation.autoscalers:
+            executor.schedule_external(
+                role.node.name, 0.0, role.start, spec.horizon_ms
+            )
 
     for i, (time, player, cd) in enumerate(scale_events(spec)):
         executor.schedule_external(
             player, time, _publish, world.hosts[player], cd, spec.payload_bytes, i
         )
     executor.run(until=spec.horizon_ms)
-    return {
+    result = {
         "deliveries": len(log),
         "digest": log.digest(),
+        "latency": latency_stats(log),
         "events_processed": executor.events_processed,
         "network_bytes": world.network.total_bytes,
         "network_packets": world.network.total_packets,
         "executor": executor.telemetry(),
+    }
+    if federation is not None:
+        result["federation"] = federation_summary(federation)
+    return result
+
+
+def latency_stats(log: DeliveryLog) -> dict:
+    """Delivery-latency percentiles for SLO gates (digest-independent)."""
+    lats = log.latencies()
+    if not lats:
+        return {"count": 0, "mean_ms": None, "p50_ms": None, "p95_ms": None, "max_ms": None}
+    n = len(lats)
+    return {
+        "count": n,
+        "mean_ms": sum(lats) / n,
+        "p50_ms": lats[n // 2],
+        "p95_ms": lats[min(n - 1, int(n * 0.95))],
+        "max_ms": lats[-1],
+    }
+
+
+def federation_summary(state) -> dict:
+    """Roll one world's federation state up into a report block."""
+    roles = state.autoscalers
+    return {
+        "actions": sum(len(r.actions) for r in roles),
+        "splits": sum(r.splits for r in roles),
+        "merges": sum(r.merges for r in roles),
+        "migrates": sum(r.migrates for r in roles),
+        "skipped_unsafe": sum(r.skipped_unsafe for r in roles),
+        "scoped_floods": state.scoped_floods,
     }
 
 

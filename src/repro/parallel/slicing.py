@@ -299,6 +299,9 @@ def build_scale_shard(spec: ScaleSpec, plan: ShardPlan, shard: int) -> ScaleWorl
         rp_router = network.nodes.get(rp_name)
         if isinstance(rp_router, GCopssRouter):
             rp_router.rp_prefixes.add(prefix)
+    # Same seam as build_scale_world: a federated spec layers its region
+    # state on top, installing only the regions whose members live here.
+    spec.post_install(network)
     return ScaleWorld(
         network=network, hosts=hosts, host_region=host_region, cores=cores
     )

@@ -18,7 +18,12 @@ fires:
 * *no orphaned ST entries*: at verdict time, a router's subscription
   table holds no host-facing entry for a CD the host dropped longer ago
   than the soft-state TTL plus two sweep periods (checked by
-  :meth:`InvariantMonitor.check_subscription_tables`).
+  :meth:`InvariantMonitor.check_subscription_tables`);
+* *single RP ownership + region coverage*: at verdict time, no two
+  routers serve nesting prefixes (the PR-8 dual-ownership bug class) and
+  every workload CD family still resolves to an owner, directly or via a
+  bounded relay chain (checked by
+  :meth:`InvariantMonitor.check_ownership`).
 
 **Liveness** — computed at verdict time from the ground-truth
 :class:`SubscriptionLedger` the experiment maintains:
@@ -497,6 +502,122 @@ class InvariantMonitor:
                             detail=(
                                 f"ST entry for {cd} toward {peer.name} "
                                 f"(count {count}) uncovered for {now - since:.0f}ms"
+                            ),
+                        )
+                    )
+        return found
+
+    def check_ownership(
+        self,
+        network: "Network",
+        now: float,
+        expected_cover: Iterable[Name] = (),
+        max_relay_hops: int = 8,
+    ) -> int:
+        """The RP-ownership invariants: single owner, full coverage.
+
+        *Single owner* — "exactly one RP owns each prefix at any
+        instant": no two routers' served-prefix sets may hold nesting or
+        equal prefixes (the PR-8 dual-ownership bug class: a replayed
+        CdHandoff resurrecting a prefix its new RP had already
+        relinquished onward).
+
+        *Region coverage* — every prefix in ``expected_cover`` (the CD
+        families the workload publishes under) must be served by some
+        router, **and** every relay entry covering it must chain to a
+        serving router within ``max_relay_hops``: publications arriving
+        at a historical holder follow those pointers, so a stale, cyclic
+        or over-long chain black-holes them even while an owner exists
+        (the failure mode the relay-safety rule in
+        :mod:`repro.core.federation` prevents).
+
+        Appends ``dual_owner`` / ``coverage_gap`` / ``relay_black_hole``
+        violations; returns how many were found.  A global read: call it
+        at quiescent points (verdict time) or under serial execution
+        only.
+        """
+        served: List[Tuple[Name, str]] = []
+        for name in sorted(network.nodes):
+            node = network.nodes[name]
+            prefixes = getattr(node, "rp_prefixes", None)
+            if prefixes:
+                for prefix in sorted(prefixes):
+                    served.append((prefix, name))
+        found = 0
+        for i, (prefix, owner) in enumerate(served):
+            for other_prefix, other_owner in served[i + 1:]:
+                if owner != other_owner and (
+                    prefix.is_prefix_of(other_prefix)
+                    or other_prefix.is_prefix_of(prefix)
+                ):
+                    found += 1
+                    self.violations.append(
+                        Violation(
+                            t=now,
+                            kind="dual_owner",
+                            host=owner,
+                            detail=(
+                                f"{owner} serves {prefix} while "
+                                f"{other_owner} serves {other_prefix}"
+                            ),
+                        )
+                    )
+        owners_by_prefix = {prefix: owner for prefix, owner in served}
+
+        def serves(node, cd: Name) -> bool:
+            role_prefixes = getattr(node, "rp_prefixes", None) or ()
+            return any(p == cd or p.is_prefix_of(cd) for p in role_prefixes)
+
+        def relay_next(node, cd: Name) -> Optional[str]:
+            # Longest-prefix match over the relay map, mirroring how the
+            # relay role picks an onward hop for an arriving packet.
+            relinquished = getattr(node, "relinquished", None) or {}
+            matches = [p for p in relinquished if p == cd or p.is_prefix_of(cd)]
+            if not matches:
+                return None
+            return relinquished[max(matches, key=lambda p: (len(p.components), p))]
+
+        for cd in expected_cover:
+            cd = Name.coerce(cd)
+            if not any(p == cd or p.is_prefix_of(cd) for p in owners_by_prefix):
+                found += 1
+                self.violations.append(
+                    Violation(
+                        t=now,
+                        kind="coverage_gap",
+                        host="-",
+                        detail=f"no router serves {cd}",
+                    )
+                )
+                continue
+            # An owner exists — but publications arriving at a historical
+            # holder follow its relay pointer, so every relay chain
+            # covering the CD must reach a serving router within the hop
+            # bound; a stale, cyclic or over-long chain is a black hole.
+            for holder_name in sorted(network.nodes):
+                holder = network.nodes[holder_name]
+                if serves(holder, cd) or relay_next(holder, cd) is None:
+                    continue
+                onward = relay_next(holder, cd)
+                hops = 0
+                resolved = False
+                while onward is not None and hops < max_relay_hops:
+                    node = network.nodes.get(onward)
+                    if node is not None and serves(node, cd):
+                        resolved = True
+                        break
+                    onward = None if node is None else relay_next(node, cd)
+                    hops += 1
+                if not resolved:
+                    found += 1
+                    self.violations.append(
+                        Violation(
+                            t=now,
+                            kind="relay_black_hole",
+                            host=holder_name,
+                            detail=(
+                                f"relay chain for {cd} from {holder_name} "
+                                f"reaches no owner within {max_relay_hops} hops"
                             ),
                         )
                     )

@@ -275,3 +275,105 @@ class TestVerdict:
             deliveries=deliveries, join_margin_ms=100.0,
         )
         assert waived.permanent_misses == 0
+
+
+class TestCheckOwnership:
+    """The RP-ownership invariants: single owner + region coverage."""
+
+    def build(self, owners, relays=()):
+        """A router mesh with served-prefix / relay state stamped on."""
+        net = Network()
+        routers = {}
+        previous = None
+        for name in sorted({n for n, _ in owners} | {n for n, _, _ in relays}):
+            routers[name] = GCopssRouter(net, name)
+            if previous is not None:
+                net.connect(previous, routers[name], 1.0)
+            previous = routers[name]
+        for name, prefix in owners:
+            routers[name].rp_prefixes.add(Name.parse(prefix))
+        for name, prefix, onward in relays:
+            routers[name].relinquished[Name.parse(prefix)] = onward
+        return net, InvariantMonitor(SubscriptionLedger())
+
+    def test_disjoint_owners_are_clean(self):
+        net, inv = self.build([("A", "/1"), ("B", "/2")])
+        assert inv.check_ownership(net, 0.0) == 0
+        assert inv.violations == []
+
+    def test_equal_prefixes_flag_dual_owner(self):
+        net, inv = self.build([("A", "/1"), ("B", "/1")])
+        assert inv.check_ownership(net, 0.0) == 1
+        assert inv.violations[0].kind == "dual_owner"
+
+    def test_nested_prefixes_flag_dual_owner(self):
+        net, inv = self.build([("A", "/1"), ("B", "/1/x")])
+        assert inv.check_ownership(net, 0.0) == 1
+        assert inv.violations[0].kind == "dual_owner"
+
+    def test_same_router_may_nest_its_own_prefixes(self):
+        net, inv = self.build([("A", "/1"), ("A", "/1/x")])
+        assert inv.check_ownership(net, 0.0) == 0
+
+    def test_uncovered_prefix_flags_coverage_gap(self):
+        net, inv = self.build([("A", "/1")])
+        assert inv.check_ownership(net, 0.0, expected_cover=["/2"]) == 1
+        assert inv.violations[0].kind == "coverage_gap"
+
+    def test_owner_prefix_covers_finer_cd(self):
+        net, inv = self.build([("A", "/1")])
+        assert inv.check_ownership(net, 0.0, expected_cover=["/1/x/y"]) == 0
+
+    def test_relay_chain_to_owner_is_covered(self):
+        # Mid-handoff state is legal: A relinquished /1 to B, B owns it.
+        net, inv = self.build(
+            [("B", "/1")], relays=[("A", "/1", "B")]
+        )
+        assert inv.check_ownership(net, 0.0, expected_cover=["/1"]) == 0
+
+    def test_multi_hop_relay_chain_is_covered(self):
+        net, inv = self.build(
+            [("C", "/1")],
+            relays=[("A", "/1", "B"), ("B", "/1", "C")],
+        )
+        assert inv.check_ownership(net, 0.0, expected_cover=["/1"]) == 0
+
+    def test_relay_chain_over_hop_bound_is_a_black_hole(self):
+        net, inv = self.build(
+            [("C", "/1")],
+            relays=[("A", "/1", "B"), ("B", "/1", "C")],
+        )
+        assert inv.check_ownership(
+            net, 0.0, expected_cover=["/1"], max_relay_hops=1
+        ) == 1
+        assert inv.violations[0].kind == "relay_black_hole"
+        assert inv.violations[0].host == "A"
+
+    def test_stale_relay_entry_is_a_black_hole(self):
+        # The relay-safety failure shape: C owns /1, but A's relay map
+        # still points /1 at B which neither serves nor relays it —
+        # publications arriving at A die even though an owner exists.
+        net, inv = self.build(
+            [("C", "/1")],
+            relays=[("A", "/1", "B")],
+        )
+        assert inv.check_ownership(net, 0.0, expected_cover=["/1"]) == 1
+        assert inv.violations[0].kind == "relay_black_hole"
+
+    def test_relay_cycle_is_a_black_hole_not_a_hang(self):
+        # Two routers pointing the prefix at each other while the real
+        # owner sits elsewhere: the walk must terminate and flag both.
+        net, inv = self.build(
+            [("Z", "/1")],
+            relays=[("A", "/1", "B"), ("B", "/1", "A")],
+        )
+        assert inv.check_ownership(net, 0.0, expected_cover=["/1"]) == 2
+        assert {v.kind for v in inv.violations} == {"relay_black_hole"}
+
+    def test_relay_entry_covers_finer_cd(self):
+        # Longest-prefix semantics: the /1 relay entry routes a /1/x/y
+        # publication toward the owner.
+        net, inv = self.build(
+            [("B", "/1")], relays=[("A", "/1", "B")]
+        )
+        assert inv.check_ownership(net, 0.0, expected_cover=["/1/x/y"]) == 0

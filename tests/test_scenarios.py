@@ -20,7 +20,13 @@ SMOKE_SCALE = 0.2
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert SCENARIO_NAMES == ("churn", "day-night", "flash-crowd", "mobility")
+        assert SCENARIO_NAMES == (
+            "autoscale-storm",
+            "churn",
+            "day-night",
+            "flash-crowd",
+            "mobility",
+        )
         for name in SCENARIO_NAMES:
             assert get_scenario(name).name == name
 
